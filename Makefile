@@ -1,0 +1,44 @@
+# Convenience targets for the twostep reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench report examples vet cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -timeout 600s
+
+# Skips the heavyweight exhaustive model-checking suites.
+test-short:
+	$(GO) test ./... -short -timeout 300s
+
+bench:
+	$(GO) test -bench=. -benchmem -timeout 1200s .
+
+# Regenerates EXPERIMENTS-style report on stdout (plus CSVs under ./out).
+report:
+	$(GO) run ./cmd/bench -soak-runs 200 -csv out
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/lowerbound
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/wan
+
+cover:
+	$(GO) test ./internal/... -cover -short -timeout 300s
+
+# 30 seconds of coverage-guided fuzzing on each fuzz target.
+fuzz:
+	$(GO) test ./internal/consensus -run=NONE -fuzz=FuzzCodecDecode -fuzztime=30s
+	$(GO) test ./internal/core -run=NONE -fuzz=FuzzDeliverRobustness -fuzztime=30s
+
+clean:
+	rm -rf out

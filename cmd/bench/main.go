@@ -1,0 +1,98 @@
+// Command bench regenerates every table and figure of the reproduction
+// (DESIGN.md §4) and prints them as markdown tables. With -out it also
+// writes the report to a file (EXPERIMENTS.md is produced this way).
+//
+// Usage:
+//
+//	bench                 # run everything
+//	bench -exp T1,F3      # run selected experiments
+//	bench -soak-runs 500  # deeper T5 campaign
+//	bench -out report.md  # additionally write a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		soakRuns = flag.Int("soak-runs", 150, "runs per row for the T5 soak campaign")
+		outPath  = flag.String("out", "", "also write the report to this file")
+		csvDir   = flag.String("csv", "", "also write each experiment as <dir>/<ID>.csv")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	var f *os.File
+	if *outPath != "" {
+		var err error
+		f, err = os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(out, "# Reproduction report — Revisiting Lower Bounds for Two-Step Consensus\n\n")
+	fmt.Fprintf(out, "Generated %s by `cmd/bench`. See DESIGN.md §4 for the experiment index.\n\n",
+		time.Now().UTC().Format(time.RFC3339))
+
+	exps := bench.Experiments(*soakRuns)
+	ids := bench.ExperimentIDs()
+	if *expFlag != "" {
+		var sel []string
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := exps[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (have %v)", id, ids)
+			}
+			sel = append(sel, id)
+		}
+		ids = sel
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res := exps[id]()
+		if _, err := res.WriteTo(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "_%s completed in %s_\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir, id string, res *bench.Result) error {
+	f, err := os.Create(dir + "/" + id + ".csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.WriteCSV(f)
+}

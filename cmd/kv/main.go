@@ -1,0 +1,180 @@
+// Command kv runs one replica of the replicated key-value store over TCP,
+// or a client REPL against a set of replicas.
+//
+// Replica (one per process; consensus addresses shared by all, client port
+// is consensus port + 1000):
+//
+//	kv -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -f 1 -e 1
+//
+// Client (reads commands from stdin, PUT/GET/DEL/PING, fails over between
+// proxies):
+//
+//	kv -connect 127.0.0.1:8100,127.0.0.1:8101,127.0.0.1:8102
+//	> PUT city madrid
+//	OK
+//	> GET city
+//	VAL madrid
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.Int("id", -1, "replica id (replica mode)")
+		peers   = flag.String("peers", "", "comma-separated consensus addresses, index = id")
+		fFlag   = flag.Int("f", 1, "resilience threshold f")
+		eFlag   = flag.Int("e", 1, "fast threshold e")
+		tickMS  = flag.Int("tick", 5, "milliseconds per protocol tick (Δ = 10 ticks)")
+		connect = flag.String("connect", "", "client mode: comma-separated client addresses")
+	)
+	flag.Parse()
+
+	if *connect != "" {
+		return clientMain(strings.Split(*connect, ","))
+	}
+	if *id < 0 || *peers == "" {
+		return fmt.Errorf("replica mode needs -id and -peers; client mode needs -connect")
+	}
+	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *tickMS)
+}
+
+func replicaMain(id int, peerList []string, f, e, tickMS int) error {
+	n := len(peerList)
+	cfg := consensus.Config{ID: consensus.ProcessID(id), N: n, F: f, E: e, Delta: 10}
+	replica, err := smr.NewReplica(cfg, time.Duration(tickMS)*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	defer replica.Close()
+
+	codec := consensus.NewCodec()
+	smr.RegisterMessages(codec)
+	addrs := make(map[consensus.ProcessID]string, n)
+	for i, a := range peerList {
+		addrs[consensus.ProcessID(i)] = strings.TrimSpace(a)
+	}
+	tr, err := transport.NewTCP(cfg.ID, addrs, codec, replica.Handle)
+	if err != nil {
+		return err
+	}
+	replica.BindTransport(tr)
+	replica.Start()
+
+	clientAddr, err := shiftPort(addrs[cfg.ID], 1000)
+	if err != nil {
+		return err
+	}
+	srv, err := smr.NewServer(replica, clientAddr, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	fmt.Printf("replica %s up: consensus %s, clients %s, n=%d f=%d e=%d\n",
+		cfg.ID, addrs[cfg.ID], srv.Addr(), n, f, e)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+// shiftPort adds delta to the port of a host:port address.
+func shiftPort(addr string, delta int) (string, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("bad address %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("bad port %q: %w", portStr, err)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+delta)), nil
+}
+
+func clientMain(addrs []string) error {
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	client, err := smr.NewClient(addrs, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	fmt.Printf("connected proxy set: %v\n", addrs)
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			fmt.Print("> ")
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "QUIT", "EXIT":
+			return nil
+		case "GET":
+			if len(fields) != 2 {
+				fmt.Println("usage: GET <key>")
+				break
+			}
+			v, err := client.Get(fields[1])
+			switch {
+			case err == nil:
+				fmt.Println("VAL", v)
+			case strings.Contains(err.Error(), "not found"):
+				fmt.Println("NONE")
+			default:
+				fmt.Println("ERR", err)
+			}
+		case "PUT":
+			if len(fields) < 3 {
+				fmt.Println("usage: PUT <key> <value>")
+				break
+			}
+			if err := client.Put(fields[1], strings.Join(fields[2:], " ")); err != nil {
+				fmt.Println("ERR", err)
+			} else {
+				fmt.Println("OK")
+			}
+		case "DEL":
+			if len(fields) != 2 {
+				fmt.Println("usage: DEL <key>")
+				break
+			}
+			if err := client.Delete(fields[1]); err != nil {
+				fmt.Println("ERR", err)
+			} else {
+				fmt.Println("OK")
+			}
+		default:
+			fmt.Println("commands: PUT GET DEL QUIT")
+		}
+		fmt.Print("> ")
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Command simrun executes a single named scenario in the simulator and
+// prints the resulting trace verdicts. It is the exploratory companion to
+// cmd/bench: pick a protocol, thresholds, crash set and seed, and see what
+// happens.
+//
+// Scenarios:
+//
+//	twostep    one E-faulty synchronous run (choose -crash, -prefer)
+//	coverage   the full Definition 4 / A.1 check at the given n
+//	soak       randomized partial-synchrony campaign
+//	witness    the Appendix-B lower-bound construction at the given n
+//	mc         bounded exhaustive model checking (-ticks, -crashes)
+//
+// Examples:
+//
+//	simrun -scenario coverage -protocol core-task -f 2 -e 2
+//	simrun -scenario witness  -protocol core-task -f 2 -e 2 -n 5
+//	simrun -scenario twostep  -protocol fastpaxos -f 1 -e 1 -n 4 -crash 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/mc"
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario = flag.String("scenario", "coverage", "twostep | coverage | soak | witness")
+		protocol = flag.String("protocol", protocols.CoreTask, strings.Join(protocols.Names(), " | "))
+		fFlag    = flag.Int("f", 2, "resilience threshold f")
+		eFlag    = flag.Int("e", 1, "fast threshold e")
+		nFlag    = flag.Int("n", 0, "process count (default: protocol's minimum)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		runs     = flag.Int("runs", 100, "runs for the soak scenario")
+		crash    = flag.String("crash", "", "comma-separated ids to crash at t=0 (twostep)")
+		prefer   = flag.Int("prefer", -1, "preferred proposer (twostep; default: highest input)")
+		object   = flag.Bool("object", false, "use the object formulation where it applies")
+		diagram  = flag.Bool("diagram", false, "print a message-flow diagram (twostep scenario)")
+		ticks    = flag.Int("ticks", 0, "mc scenario: timer firings allowed per process")
+		crashes  = flag.Int("crashes", 0, "mc scenario: crash budget for the adversary")
+		maxState = flag.Int("max-states", 200000, "mc scenario: state cap")
+	)
+	flag.Parse()
+
+	name := *protocol
+	if *object && name == protocols.CoreTask {
+		name = protocols.CoreObject
+	}
+	fac, err := protocols.ByName(name)
+	if err != nil {
+		return err
+	}
+	n := *nFlag
+	if n == 0 {
+		if n, err = protocols.MinProcesses(name, *fFlag, *eFlag); err != nil {
+			return err
+		}
+	}
+	sc := runner.Scenario{N: n, F: *fFlag, E: *eFlag, Delta: 10, Seed: *seed}
+	fmt.Printf("scenario=%s protocol=%s n=%d f=%d e=%d seed=%d\n\n", *scenario, name, n, *fFlag, *eFlag, *seed)
+
+	switch *scenario {
+	case "twostep":
+		var faulty []consensus.ProcessID
+		if *crash != "" {
+			for _, tok := range strings.Split(*crash, ",") {
+				id, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil {
+					return fmt.Errorf("bad -crash: %w", err)
+				}
+				faulty = append(faulty, consensus.ProcessID(id))
+			}
+		}
+		inputs := make(map[consensus.ProcessID]consensus.Value, n)
+		for i := 0; i < n; i++ {
+			inputs[consensus.ProcessID(i)] = consensus.IntValue(int64(i + 1))
+		}
+		pref := consensus.ProcessID(n - 1)
+		if *prefer >= 0 {
+			pref = consensus.ProcessID(*prefer)
+		}
+		tr, err := runner.EFaultySync(fac, sc, runner.SyncRun{
+			Faulty: faulty, Inputs: inputs, Prefer: pref,
+			Horizon:      consensus.Time(200 * sc.Delta),
+			KeepMessages: *diagram,
+		})
+		if err != nil {
+			return err
+		}
+		if *diagram {
+			if err := tr.WriteFlow(os.Stdout, sc.Delta); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		fmt.Printf("two-step processes (≤2Δ): %v\n", tr.TwoStepProcesses(sc.Delta))
+		for i := 0; i < n; i++ {
+			if d, ok := tr.DecisionOf(consensus.ProcessID(i)); ok {
+				fmt.Printf("  %s decided %s at t=%d\n", d.P, d.Value, d.At)
+			}
+		}
+		fmt.Printf("validity=%v agreement=%v\n", errMark(tr.CheckValidity()), errMark(tr.CheckAgreement()))
+
+	case "coverage":
+		var report runner.TwoStepReport
+		if name == protocols.CoreObject {
+			report = runner.ObjectTwoStep(fac, sc)
+		} else {
+			report = runner.TaskTwoStep(fac, sc)
+		}
+		fmt.Println(report)
+		for _, fl := range append(report.Item1.Failures, report.Item2.Failures...) {
+			fmt.Println("  failure:", fl)
+		}
+
+	case "soak":
+		res := runner.Soak(fac, sc, runner.SoakOptions{
+			Runs: *runs, MaxCrashes: *fFlag, Object: name == protocols.CoreObject,
+		})
+		fmt.Println(res)
+		for _, fl := range res.Failures {
+			fmt.Println("  failure:", fl)
+		}
+
+	case "witness":
+		var w lowerbound.Witness
+		if name == protocols.CoreObject {
+			w, err = lowerbound.ObjectWitness(fac, n, *fFlag, *eFlag, sc.Delta)
+		} else {
+			w, err = lowerbound.TaskWitness(fac, n, *fFlag, *eFlag, sc.Delta)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(w)
+		mode := quorum.Task
+		if name == protocols.CoreObject {
+			mode = quorum.Object
+		}
+		fmt.Printf("tight bound for %s: n ≥ %d\n", mode, quorum.MinProcesses(mode, *fFlag, *eFlag))
+
+	case "mc":
+		mode := core.ModeTask
+		if name == protocols.CoreObject {
+			mode = core.ModeObject
+		}
+		mcFac := func(cfg consensus.Config) consensus.Protocol {
+			return core.NewUnchecked(cfg, mode, core.DefaultOptions(), consensus.FixedLeader(0))
+		}
+		if name != protocols.CoreTask && name != protocols.CoreObject {
+			return fmt.Errorf("mc scenario supports core-task and core-object (got %q)", name)
+		}
+		inputs := make(map[consensus.ProcessID]consensus.Value, n)
+		for i := 0; i < n; i++ {
+			inputs[consensus.ProcessID(i)] = consensus.IntValue(int64(1 + i))
+		}
+		res, err := mc.Check(mcFac, mc.Options{
+			N: n, F: *fFlag, E: *eFlag,
+			Inputs:          inputs,
+			TicksPerProcess: *ticks,
+			Crashes:         *crashes,
+			MaxStates:       *maxState,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("states=%d deepest=%d decided-states=%d complete=%v\n",
+			res.States, res.Deepest, res.DecidedStates, !res.Truncated)
+		if res.Violation != nil {
+			fmt.Printf("SAFETY VIOLATION: %s\n", res.Violation)
+		} else {
+			fmt.Println("no safety violation in any explored interleaving")
+		}
+
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	return nil
+}
+
+func errMark(err error) string {
+	if err != nil {
+		return "VIOLATED: " + err.Error()
+	}
+	return "ok"
+}

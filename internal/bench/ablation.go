@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+// Ablation regenerates the DESIGN.md §5 study: disable each of the
+// protocol's load-bearing rules in turn and show which guarantee dies.
+//
+//	value ordering      → two-step coverage collapses (and the low-fast
+//	                      schedule forces an agreement violation at the
+//	                      bound, like Fast Paxos)
+//	proposer exclusion  → the insider-proposer schedule forces an
+//	                      agreement violation at the bound
+//	equality branch     → recovery loses fast decisions whose votes meet
+//	                      the 1B quorum in exactly n−f−e processes
+func Ablation() *Result {
+	const f, e = 2, 2
+	n := quorum.TaskMinProcesses(f, e)
+	r := &Result{
+		ID:    "A1",
+		Title: fmt.Sprintf("ablation of the protocol's design choices (task mode, f=%d, e=%d, n=%d)", f, e, n),
+		Header: []string{
+			"variant", "two-step coverage",
+			"low-fast schedule", "insider schedule", "tight-quorum recovery",
+		},
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full protocol", core.DefaultOptions()},
+		{"no value ordering", func() core.Options { o := core.DefaultOptions(); o.ValueOrdering = false; return o }()},
+		{"no proposer exclusion (R)", func() core.Options { o := core.DefaultOptions(); o.ExcludeProposers = false; return o }()},
+		{"no equality branch", func() core.Options { o := core.DefaultOptions(); o.EqualityBranch = false; return o }()},
+	}
+	for _, v := range variants {
+		fac := protocols.CoreAblatedFactory(core.ModeTask, v.opts)
+		sc := runner.Scenario{N: n, F: f, E: e, Delta: benchDelta, Seed: 11}
+
+		coverage := mark(runner.TaskTwoStep(fac, sc).OK())
+
+		lowFast := "—"
+		if w, err := lowerbound.TaskWitnessVariant(fac, n, f, e, benchDelta, lowerbound.TaskLowFast); err == nil {
+			lowFast = violationCell(w)
+		}
+		insider := "—"
+		if w, err := lowerbound.TaskWitnessVariant(fac, n, f, e, benchDelta, lowerbound.TaskInsiderProposer); err == nil {
+			insider = violationCell(w)
+		}
+		trials, ok := tightQuorumTrials(v.opts, f, e, 2000, 31)
+		recovery := fmt.Sprintf("%d/%d ok", ok, trials)
+
+		r.AddRow(v.name, coverage, lowFast, insider, recovery)
+	}
+	r.AddNote("two-step coverage: Definition 4 checked over all crash sets; only the full protocol and the equality/exclusion ablations pass (those rules matter for recovery, not the fast path).")
+	r.AddNote("schedules: 'safe' = no agreement violation; 'VIOLATED' = the adversary forced conflicting decisions at the tight bound.")
+	r.AddNote("tight-quorum recovery: random post-fast-decision states whose 1B quorum sees exactly n−f−e surviving votes; the equality branch (with its max tie-break) is what recovers them.")
+	return r
+}
+
+func violationCell(w lowerbound.Witness) string {
+	if w.Violated {
+		return "VIOLATED"
+	}
+	return "safe"
+}
+
+// tightQuorumTrials draws random post-fast-decision states in which the 1B
+// quorum contains exactly n−f−e fast-value voters (the equality branch's
+// territory) plus, half the time, an insider competitor co-proposed inside
+// the quorum (the exclusion rule's territory), and counts how often the
+// recovery rule returns the fast value.
+func tightQuorumTrials(opts core.Options, f, e, trials int, seed int64) (int, int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := quorum.TaskMinProcesses(f, e)
+	ok := 0
+	for i := 0; i < trials; i++ {
+		if tightQuorumTrialOnce(opts, n, f, e, rng) {
+			ok++
+		}
+	}
+	return trials, ok
+}
+
+func tightQuorumTrialOnce(opts core.Options, n, f, e int, rng *rand.Rand) bool {
+	fastValue := consensus.IntValue(int64(100 + rng.Intn(10)))
+	proposer := consensus.ProcessID(n - 1) // kept outside Q
+
+	threshold := n - f - e
+	// Q = threshold fast voters + the e non-voters.
+	reports := make(map[consensus.ProcessID]core.OneB, n-f)
+	for i := 0; i < threshold; i++ {
+		reports[consensus.ProcessID(i)] = core.OneB{
+			Ballot: 1, Val: fastValue, Proposer: proposer, Decided: consensus.None,
+		}
+	}
+	// Non-voters: either idle, or an insider group that co-proposed a
+	// competing (greater) value among themselves.
+	insider := rng.Intn(2) == 0 && e >= 2
+	comp := consensus.IntValue(int64(200 + rng.Intn(10)))
+	for i := 0; i < e; i++ {
+		p := consensus.ProcessID(threshold + i)
+		rep := core.OneB{Ballot: 1, Val: consensus.None, Proposer: consensus.NoProcess, Decided: consensus.None}
+		if insider {
+			// Co-proposers: each voted comp with the other as its
+			// vote's proposer; both are inside Q.
+			other := consensus.ProcessID(threshold + (i+1)%e)
+			rep = core.OneB{Ballot: 1, Val: comp, Proposer: other, Decided: consensus.None}
+		}
+		reports[p] = rep
+	}
+	cfg := consensus.Config{ID: 0, N: n, F: f, E: e, Delta: benchDelta}
+	node := core.NewUnchecked(cfg, core.ModeTask, opts, consensus.FixedLeader(0))
+	node.Propose(consensus.IntValue(int64(1 + rng.Intn(50)))) // leader's own value feeds rule 4
+	return node.ComputeRecovery(reports) == fastValue
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+// Coverage regenerates T2: exhaustive two-step coverage at the bound. For
+// each configuration it enumerates every crash set E of size e and checks
+// both items of the relevant definition, counting the executed runs. Paxos
+// appears as a negative control: item 1 must fail for any e > 0 (§2).
+func Coverage() *Result {
+	r := &Result{
+		ID:     "T2",
+		Title:  "two-step coverage at the tight bound (all crash sets, Definitions 4 & A.1)",
+		Header: []string{"protocol", "f", "e", "n", "item1", "item2", "runs"},
+	}
+	cases := []struct{ f, e int }{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {3, 3}}
+	for _, c := range cases {
+		nT := quorum.TaskMinProcesses(c.f, c.e)
+		rep := runner.TaskTwoStep(protocols.CoreTaskFactory,
+			runner.Scenario{N: nT, F: c.f, E: c.e, Delta: benchDelta, Seed: 2})
+		r.AddRow("core-task", c.f, c.e, nT,
+			verdict(rep.Item1.OK, true), verdict(rep.Item2.OK, true),
+			fmt.Sprintf("%d", rep.Item1.Runs+rep.Item2.Runs))
+
+		nO := quorum.ObjectMinProcesses(c.f, c.e)
+		repO := runner.ObjectTwoStep(protocols.CoreObjectFactory,
+			runner.Scenario{N: nO, F: c.f, E: c.e, Delta: benchDelta, Seed: 2})
+		r.AddRow("core-object", c.f, c.e, nO,
+			verdict(repO.Item1.OK, true), verdict(repO.Item2.OK, true),
+			fmt.Sprintf("%d", repO.Item1.Runs+repO.Item2.Runs))
+
+		nL := quorum.LamportMinProcesses(c.f, c.e)
+		repF := runner.TaskTwoStep(protocols.FastPaxosFactory,
+			runner.Scenario{N: nL, F: c.f, E: c.e, Delta: benchDelta, Seed: 2})
+		r.AddRow("fastpaxos", c.f, c.e, nL,
+			verdict(repF.Item1.OK, true), verdict(repF.Item2.OK, true),
+			fmt.Sprintf("%d", repF.Item1.Runs+repF.Item2.Runs))
+	}
+	// Negative control: Paxos cannot be e-two-step for e > 0.
+	repP := runner.TaskTwoStep(protocols.PaxosFactory,
+		runner.Scenario{N: 3, F: 1, E: 1, Delta: benchDelta, Seed: 2})
+	r.AddRow("paxos (control)", 1, 1, 3,
+		verdict(repP.Item1.OK, false), verdict(repP.Item2.OK, false), fmt.Sprintf("%d", repP.Item1.Runs+repP.Item2.Runs))
+	r.AddNote("For the Paxos control ✓ means the expected FAILURE occurred: with the initial leader in E no process can decide by 2Δ.")
+	return r
+}

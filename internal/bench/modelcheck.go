@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/epaxos"
+	"repro/internal/fastpaxos"
+	"repro/internal/mc"
+	"repro/internal/paxos"
+)
+
+// ModelCheck regenerates T6: bounded exhaustive model checking of the
+// implementation. Every interleaving of deliveries (plus, per row, timer
+// firings or crashes) is explored for small configurations; Agreement and
+// Validity must hold in every reachable state. The final row seeds a
+// deliberately infeasible configuration (n below the bound) to demonstrate
+// the checker finds real violations.
+func ModelCheck() *Result {
+	r := &Result{
+		ID:    "T6",
+		Title: "bounded exhaustive model checking (all interleavings, small configs)",
+		Header: []string{
+			"config", "inputs", "adversary", "states", "deepest", "complete", "violation", "expected",
+		},
+	}
+	taskFac := func(cfg consensus.Config) consensus.Protocol {
+		return core.NewUnchecked(cfg, core.ModeTask, core.DefaultOptions(), consensus.FixedLeader(0))
+	}
+	objFac := func(cfg consensus.Config) consensus.Protocol {
+		return core.NewUnchecked(cfg, core.ModeObject, core.DefaultOptions(), consensus.FixedLeader(0))
+	}
+	fpFac := func(cfg consensus.Config) consensus.Protocol {
+		return fastpaxos.NewUnchecked(cfg, consensus.FixedLeader(0))
+	}
+	pxFac := func(cfg consensus.Config) consensus.Protocol {
+		return paxos.NewUnchecked(cfg, consensus.FixedLeader(0))
+	}
+	epFac := func(cfg consensus.Config) consensus.Protocol {
+		return epaxos.NewUnchecked(cfg, 0, consensus.FixedLeader(1))
+	}
+	in := func(vals ...int64) map[consensus.ProcessID]consensus.Value {
+		m := make(map[consensus.ProcessID]consensus.Value)
+		for i, v := range vals {
+			if v != 0 {
+				m[consensus.ProcessID(i)] = consensus.IntValue(v)
+			}
+		}
+		return m
+	}
+
+	rows := []struct {
+		name      string
+		fac       mc.Factory
+		opts      mc.Options
+		adversary string
+		expectBad bool
+	}{
+		{
+			name: "task n=3 f=1 e=1", fac: taskFac,
+			opts:      mc.Options{N: 3, F: 1, E: 1, Inputs: in(1, 2, 2)},
+			adversary: "deliveries",
+		},
+		{
+			name: "task n=3 f=1 e=1", fac: taskFac,
+			opts:      mc.Options{N: 3, F: 1, E: 1, Inputs: in(3, 1, 2)},
+			adversary: "deliveries",
+		},
+		{
+			name: "object n=3 f=1 e=1", fac: objFac,
+			opts:      mc.Options{N: 3, F: 1, E: 1, Inputs: in(2, 1, 0)},
+			adversary: "deliveries",
+		},
+		{
+			name: "task n=3 f=1 e=1", fac: taskFac,
+			opts:      mc.Options{N: 3, F: 1, E: 1, Inputs: in(1, 2, 2), Crashes: 1},
+			adversary: "deliveries + 1 crash",
+		},
+		{
+			name: "task n=3 f=1 e=1", fac: taskFac,
+			opts: mc.Options{
+				N: 3, F: 1, E: 1, Inputs: in(1, 2, 2),
+				TicksPerProcess: 1, MaxStates: 60_000, MaxDepth: 36,
+			},
+			adversary: "deliveries + timers",
+		},
+		{
+			name: "fastpaxos n=4 f=1 e=1 (Lamport bound)", fac: fpFac,
+			opts: mc.Options{
+				N: 4, F: 1, E: 1, Inputs: in(1, 2, 0, 0),
+				MaxStates: 40_000, MaxDepth: 30,
+			},
+			adversary: "deliveries",
+		},
+		{
+			name: "paxos n=3 f=1", fac: pxFac,
+			opts:      mc.Options{N: 3, F: 1, E: 0, Inputs: in(5, 3, 0)},
+			adversary: "deliveries",
+		},
+		{
+			name: "epaxos n=3 f=1 e=1", fac: epFac,
+			opts: mc.Options{
+				N: 3, F: 1, E: 1, Inputs: in(7),
+				TicksPerProcess: 1, MaxStates: 40_000, MaxDepth: 30,
+				AllowedExtra: []consensus.Value{epaxos.Noop},
+			},
+			adversary: "deliveries + timers",
+		},
+		{
+			name: "task n=4 f=1 e=2 (below bound 5)", fac: taskFac,
+			opts: mc.Options{
+				N: 4, F: 1, E: 2, Inputs: in(1, 2, 3, 0),
+				MaxStates: 300_000, MaxDepth: 10,
+			},
+			adversary: "deliveries",
+			expectBad: true,
+		},
+	}
+	for _, row := range rows {
+		res, err := mc.Check(row.fac, row.opts)
+		if err != nil {
+			r.AddRow(row.name, "—", row.adversary, "—", "—", "—", "err", err.Error())
+			continue
+		}
+		inputsCell := fmt.Sprintf("%d proposals", len(row.opts.Inputs))
+		r.AddRow(row.name, inputsCell, row.adversary,
+			res.States, res.Deepest, mark(!res.Truncated),
+			mark(res.Violation != nil), verdict(res.Violation != nil, row.expectBad))
+	}
+	r.AddNote("complete ✓: the full reachable state space was exhausted (no truncation by the state/depth bounds).")
+	r.AddNote("The last row runs the protocol one process below its bound with an extra silent process: the checker exhibits the agreement violation, demonstrating it detects real bugs.")
+	return r
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/planner"
+	"repro/internal/quorum"
+)
+
+// Placement regenerates F5: optimal replica placement per consensus
+// formulation on the built-in 8-region WAN matrix, for f=2, e=2. It is the
+// planning view of the paper's C5 claim: the object formulation needs fewer
+// sites and its optimal placement commits faster from every client region.
+func Placement() *Result {
+	const f, e = 2, 2
+	r := &Result{
+		ID:    "F5",
+		Title: fmt.Sprintf("optimal placements on the 8-region matrix (f=%d, e=%d, objective: mean proxy latency)", f, e),
+		Header: []string{
+			"formulation", "n", "replica sites", "mean proxy ms", "worst proxy ms",
+		},
+	}
+	sites := make([]string, len(wanRegions))
+	for i, reg := range wanRegions {
+		sites[i] = reg.Name
+	}
+	req := planner.Request{
+		F: f, E: e,
+		Sites:     sites,
+		RTT:       wanRTT,
+		Objective: planner.MinimizeMean,
+	}
+	plans, err := planner.Compare(req)
+	if err != nil {
+		r.AddNote("planner error: %v", err)
+		return r
+	}
+	for _, mode := range []quorum.Mode{quorum.Object, quorum.Task, quorum.Lamport} {
+		plan, ok := plans[mode]
+		if !ok {
+			r.AddRow(mode.String(), "—", "does not fit", "—", "—")
+			continue
+		}
+		names := make([]string, len(plan.Replicas))
+		for i, s := range plan.Replicas {
+			names[i] = sites[s]
+		}
+		r.AddRow(mode.String(), plan.N, strings.Join(names, ", "),
+			fmt.Sprintf("%.0f", plan.MeanLatency), fmt.Sprintf("%d", plan.MaxLatency))
+	}
+	r.AddNote("Latency model: fast-path commit = RTT to the (n−e)-th closest replica; proxies at all 8 regions; placements searched exhaustively.")
+	r.AddNote("Fewer required replicas translate directly into a closer fast quorum for every client region — the planner quantifies the paper's wide-area motivation.")
+	return r
+}

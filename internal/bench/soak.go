@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+// SoakTable regenerates T5: randomized partial-synchrony safety and
+// liveness campaigns. Every run draws a random GST, random pre-GST delays,
+// random crash times (up to f crashes) and random proposals, then checks
+// Validity, Agreement, Termination, and — for the object — linearizability.
+func SoakTable(runs int) *Result {
+	if runs <= 0 {
+		runs = 150
+	}
+	r := &Result{
+		ID:     "T5",
+		Title:  fmt.Sprintf("randomized partial-synchrony soak (%d seeded runs per row, crashes ≤ f)", runs),
+		Header: []string{"protocol", "f", "e", "n", "workload", "runs", "violations", "undecided", "ok"},
+	}
+	type row struct {
+		name   string
+		fac    runner.Factory
+		f, e   int
+		n      int
+		object bool
+		dup    float64
+	}
+	rows := []row{
+		{"core-task", protocols.CoreTaskFactory, 2, 1, quorum.TaskMinProcesses(2, 1), false, 0},
+		{"core-task", protocols.CoreTaskFactory, 2, 2, quorum.TaskMinProcesses(2, 2), false, 0},
+		{"core-task", protocols.CoreTaskFactory, 3, 2, quorum.TaskMinProcesses(3, 2), false, 0},
+		{"core-task", protocols.CoreTaskFactory, 2, 2, quorum.TaskMinProcesses(2, 2), false, 0.2},
+		{"core-object", protocols.CoreObjectFactory, 2, 2, quorum.ObjectMinProcesses(2, 2), true, 0},
+		{"core-object", protocols.CoreObjectFactory, 3, 3, quorum.ObjectMinProcesses(3, 3), true, 0},
+		{"core-object", protocols.CoreObjectFactory, 2, 2, quorum.ObjectMinProcesses(2, 2), true, 0.2},
+		{"fastpaxos", protocols.FastPaxosFactory, 2, 1, quorum.LamportMinProcesses(2, 1), false, 0},
+		{"paxos", protocols.PaxosFactory, 2, 0, quorum.PlainMinProcesses(2), false, 0},
+	}
+	for i, rw := range rows {
+		sc := runner.Scenario{N: rw.n, F: rw.f, E: rw.e, Delta: benchDelta, Seed: int64(1000 + i)}
+		res := runner.Soak(rw.fac, sc, runner.SoakOptions{
+			Runs:          runs,
+			MaxCrashes:    rw.f,
+			Object:        rw.object,
+			DuplicateProb: rw.dup,
+		})
+		workload := "task: all propose"
+		if rw.object {
+			workload = "object: random proposers"
+		}
+		if rw.dup > 0 {
+			workload += fmt.Sprintf(" + %.0f%% dup delivery", rw.dup*100)
+		}
+		r.AddRow(rw.name, rw.f, rw.e, rw.n, workload,
+			res.Runs, res.Violations, res.Undecided, verdict(res.OK(), true))
+	}
+	r.AddNote("Duplicate-delivery rows inject at-least-once links (each message may be redelivered with an independent delay); the protocols must be idempotent.")
+	return r
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/consensus"
+)
+
+// Sample accumulates scalar observations (latencies in ticks, counts, …).
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddTicks appends a tick-valued observation.
+func (s *Sample) AddTicks(t consensus.Time) { s.Add(float64(t)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile with nearest-rank semantics
+// (NaN when empty). p is in [0, 100].
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(s.xs))
+	copy(sorted, s.xs)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Max returns the maximum (NaN when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// InDelta formats the mean as a multiple of Δ, e.g. "2.0Δ".
+func (s *Sample) InDelta(delta consensus.Duration) string {
+	if s.N() == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1fΔ", s.Mean()/float64(delta))
+}
+
+// Fmt formats the mean with one decimal, or an em-dash when empty.
+func (s *Sample) Fmt() string {
+	if s.N() == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f", s.Mean())
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+)
+
+// Throughput regenerates F4: replicated key-value store throughput on the
+// in-process transport as the number of concurrent client proxies grows.
+// Clients are spread round-robin over the replicas; each performs opsPerClient
+// Put operations.
+func Throughput() *Result {
+	const n, f, e = 5, 2, 2
+	r := &Result{
+		ID:     "F4",
+		Title:  fmt.Sprintf("replicated KV throughput, in-process transport (n=%d, f=%d, e=%d)", n, f, e),
+		Header: []string{"clients", "batching", "ops", "elapsed", "ops/sec"},
+	}
+	for _, clients := range []int{1, 2, 4, 8} {
+		for _, batching := range []bool{false, true} {
+			ops, elapsed, err := throughputRun(n, f, e, clients, 30, batching)
+			label := "off"
+			if batching {
+				label = "2ms window"
+			}
+			if err != nil {
+				r.AddRow(clients, label, "—", "—", "err: "+err.Error())
+				continue
+			}
+			r.AddRow(clients, label, ops, elapsed.Round(time.Millisecond),
+				fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()))
+		}
+	}
+	r.AddNote("Without batching every Put is one consensus instance; contention between proxies exercises the slow path and slot retries. With batching each proxy groups concurrent Puts into one instance.")
+	return r
+}
+
+// throughputRun boots an SMR cluster and hammers it with clients×opsPerClient
+// Puts, returning total ops and elapsed time.
+func throughputRun(n, f, e, clients, opsPerClient int, batching bool) (int, time.Duration, error) {
+	mesh := transport.NewMesh(n)
+	defer mesh.Close()
+	replicas := make([]*smr.Replica, n)
+	for i := 0; i < n; i++ {
+		cfg := consensus.Config{ID: consensus.ProcessID(i), N: n, F: f, E: e, Delta: 10}
+		rep, err := smr.NewReplica(cfg, time.Millisecond)
+		if err != nil {
+			return 0, 0, err
+		}
+		tr, err := mesh.Endpoint(cfg.ID, rep.Handle)
+		if err != nil {
+			return 0, 0, err
+		}
+		rep.BindTransport(tr)
+		replicas[i] = rep
+	}
+	for _, rep := range replicas {
+		if batching {
+			rep.EnableBatching(2*time.Millisecond, 0)
+		}
+		rep.Start()
+		defer rep.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kv := smr.NewKV(replicas[c%n])
+			for j := 0; j < opsPerClient; j++ {
+				key := fmt.Sprintf("c%d-k%d", c, j)
+				if err := kv.Put(ctx, key, "v"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, 0, err
+	}
+	return clients * opsPerClient, elapsed, nil
+}

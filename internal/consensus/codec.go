@@ -1,0 +1,88 @@
+package consensus
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Codec translates protocol messages to and from a self-describing JSON wire
+// form, so that the TCP transport can carry any registered message type.
+// Message kinds are registered once, at host construction time, via
+// Register; registration is safe for concurrent use.
+type Codec struct {
+	mu        sync.RWMutex
+	factories map[string]func() Message
+}
+
+// NewCodec returns an empty codec.
+func NewCodec() *Codec {
+	return &Codec{factories: make(map[string]func() Message)}
+}
+
+// Register associates kind with a factory producing a pointer to a fresh
+// message struct of that kind. Registering the same kind twice is an error.
+func (c *Codec) Register(kind string, factory func() Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.factories[kind]; dup {
+		return fmt.Errorf("codec: kind %q already registered", kind)
+	}
+	c.factories[kind] = factory
+	return nil
+}
+
+// MustRegister is Register for host construction paths where a duplicate
+// registration is a programming error.
+func (c *Codec) MustRegister(kind string, factory func() Message) {
+	if err := c.Register(kind, factory); err != nil {
+		panic(err)
+	}
+}
+
+// Kinds returns the registered kinds in sorted order.
+func (c *Codec) Kinds() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.factories))
+	for k := range c.factories {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// wireMessage is the self-describing envelope body.
+type wireMessage struct {
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// Encode serializes m into the self-describing wire form.
+func (c *Codec) Encode(m Message) ([]byte, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("codec encode %s: %w", m.Kind(), err)
+	}
+	return json.Marshal(wireMessage{Kind: m.Kind(), Body: body})
+}
+
+// Decode parses a wire-form message produced by Encode.
+func (c *Codec) Decode(data []byte) (Message, error) {
+	var w wireMessage
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("codec decode envelope: %w", err)
+	}
+	c.mu.RLock()
+	factory, ok := c.factories[w.Kind]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("codec decode: unknown kind %q", w.Kind)
+	}
+	m := factory()
+	if err := json.Unmarshal(w.Body, m); err != nil {
+		return nil, fmt.Errorf("codec decode %s body: %w", w.Kind, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,105 @@
+package consensus_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/epaxos"
+	"repro/internal/fastpaxos"
+	"repro/internal/omega"
+	"repro/internal/paxos"
+	"repro/internal/smr"
+)
+
+// fullCodec registers every message kind in the repository, which also
+// proves all kind names are globally unique.
+func fullCodec(t *testing.T) *consensus.Codec {
+	t.Helper()
+	codec := consensus.NewCodec()
+	core.RegisterMessages(codec)
+	paxos.RegisterMessages(codec)
+	fastpaxos.RegisterMessages(codec)
+	epaxos.RegisterMessages(codec)
+	smr.RegisterMessages(codec) // includes omega
+	return codec
+}
+
+func TestAllKindsGloballyUnique(t *testing.T) {
+	codec := fullCodec(t)
+	if got := len(codec.Kinds()); got < 20 {
+		t.Fatalf("expected 20+ registered kinds, got %d: %v", got, codec.Kinds())
+	}
+}
+
+func TestDuplicateRegistrationFails(t *testing.T) {
+	codec := consensus.NewCodec()
+	core.RegisterMessages(codec)
+	if err := codec.Register(core.KindPropose, func() consensus.Message { return &core.ProposeMsg{} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestRoundTripAllMessageTypes(t *testing.T) {
+	codec := fullCodec(t)
+	v := consensus.Value{Key: 42, Data: "payload"}
+	msgs := []consensus.Message{
+		&core.ProposeMsg{Value: v},
+		&core.OneA{Ballot: 3},
+		&core.OneB{Ballot: 3, VBal: 1, Val: v, Proposer: 2, Decided: consensus.None},
+		&core.TwoA{Ballot: 3, Value: v},
+		&core.TwoB{Ballot: 0, Value: v},
+		&core.DecideMsg{Value: v},
+		&paxos.Forward{Value: v},
+		&paxos.OneA{Ballot: 9},
+		&paxos.OneB{Ballot: 9, VBal: 2, Val: v},
+		&paxos.TwoA{Ballot: 9, Value: v},
+		&paxos.TwoB{Ballot: 9, Value: v},
+		&paxos.DecideMsg{Value: v},
+		&fastpaxos.ProposeMsg{Value: v},
+		&fastpaxos.OneA{Ballot: 4},
+		&fastpaxos.OneB{Ballot: 4, VBal: 0, Val: v},
+		&fastpaxos.TwoA{Ballot: 4, Value: v},
+		&fastpaxos.TwoB{Ballot: 4, Value: v},
+		&fastpaxos.DecideMsg{Value: v},
+		&epaxos.PreAccept{Value: v},
+		&epaxos.PreAcceptOK{Value: v},
+		&epaxos.Prepare{Ballot: 6},
+		&epaxos.PrepareOK{Ballot: 6, VBal: 0, Val: v, FastVoted: true, Committed: consensus.None},
+		&epaxos.Accept{Ballot: 6, Value: v},
+		&epaxos.AcceptOK{Ballot: 6, Value: v},
+		&epaxos.Commit{Value: v},
+		&omega.Heartbeat{},
+		&smr.SlotMessage{Slot: 12, InnerKind: core.KindTwoB, InnerBody: []byte(`{"ballot":0,"value":{"key":1}}`)},
+	}
+	for _, msg := range msgs {
+		data, err := codec.Encode(msg)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", msg.Kind(), err)
+		}
+		got, err := codec.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", msg.Kind(), err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%s: round trip mismatch:\n got %#v\nwant %#v", msg.Kind(), got, msg)
+		}
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	codec := consensus.NewCodec()
+	if _, err := codec.Decode([]byte(`{"kind":"nope","body":{}}`)); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	codec := fullCodec(t)
+	for _, bad := range []string{"", "{", `{"kind":"core.2b","body":"notanobject"}`} {
+		if _, err := codec.Decode([]byte(bad)); err == nil {
+			t.Errorf("garbage %q decoded", bad)
+		}
+	}
+}

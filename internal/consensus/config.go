@@ -1,0 +1,80 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common configuration errors, matchable with errors.Is.
+var (
+	ErrBadID        = errors.New("process id out of range")
+	ErrTooFew       = errors.New("too few processes for the requested resilience")
+	ErrBadThreshold = errors.New("thresholds must satisfy 0 ≤ e ≤ f and f ≥ 0")
+)
+
+// Config describes one process's view of a consensus deployment: the system
+// size n, the resilience threshold f (maximum crashes tolerated while still
+// terminating), the fast threshold e ≤ f (maximum crashes tolerated while
+// still deciding in two message delays), this process's identity, and the
+// round length Δ used to compute timer durations.
+type Config struct {
+	// ID is this process's identity, in [0, N).
+	ID ProcessID
+	// N is the number of processes in Π.
+	N int
+	// F is the resilience threshold f.
+	F int
+	// E is the fast-decision threshold e, with 0 ≤ e ≤ f.
+	E int
+	// Delta is the round length Δ in host ticks. Protocols use it to arm
+	// the new-ballot timer (2Δ initially, 5Δ thereafter, per §C.1).
+	Delta Duration
+}
+
+// Validate checks the structural sanity of the configuration. It does not
+// check protocol-specific lower bounds on N — those live in internal/quorum
+// and are deliberately checkable per protocol (the whole point of the paper
+// is that the required N differs between protocols).
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("n=%d: %w", c.N, ErrTooFew)
+	}
+	if c.ID < 0 || int(c.ID) >= c.N {
+		return fmt.Errorf("id=%d n=%d: %w", c.ID, c.N, ErrBadID)
+	}
+	if c.F < 0 || c.E < 0 || c.E > c.F {
+		return fmt.Errorf("f=%d e=%d: %w", c.F, c.E, ErrBadThreshold)
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("delta=%d: must be positive", c.Delta)
+	}
+	return nil
+}
+
+// FastQuorum returns n−e, the number of processes (including the proposer
+// itself) whose ballot-0 votes suffice for a fast decision.
+func (c Config) FastQuorum() int { return c.N - c.E }
+
+// ClassicQuorum returns n−f, the slow-path quorum size.
+func (c Config) ClassicQuorum() int { return c.N - c.F }
+
+// Others returns the identities of all processes except this one, in
+// ascending order.
+func (c Config) Others() []ProcessID {
+	out := make([]ProcessID, 0, c.N-1)
+	for i := 0; i < c.N; i++ {
+		if ProcessID(i) != c.ID {
+			out = append(out, ProcessID(i))
+		}
+	}
+	return out
+}
+
+// All returns the identities of all processes, in ascending order.
+func (c Config) All() []ProcessID {
+	out := make([]ProcessID, c.N)
+	for i := range out {
+		out[i] = ProcessID(i)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package consensus
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{ID: 2, N: 5, F: 2, E: 1, Delta: 10}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(Config) Config
+		want error
+	}{
+		{"zero n", func(c Config) Config { c.N = 0; return c }, ErrTooFew},
+		{"id negative", func(c Config) Config { c.ID = -1; return c }, ErrBadID},
+		{"id too large", func(c Config) Config { c.ID = 5; return c }, ErrBadID},
+		{"e > f", func(c Config) Config { c.E = 3; return c }, ErrBadThreshold},
+		{"negative f", func(c Config) Config { c.F = -1; return c }, ErrBadThreshold},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.mut(valid).Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+	zeroDelta := valid
+	zeroDelta.Delta = 0
+	if err := zeroDelta.Validate(); err == nil {
+		t.Fatal("zero delta accepted")
+	}
+}
+
+func TestConfigQuorums(t *testing.T) {
+	c := Config{ID: 0, N: 7, F: 2, E: 2, Delta: 10}
+	if got := c.FastQuorum(); got != 5 {
+		t.Errorf("FastQuorum = %d, want 5", got)
+	}
+	if got := c.ClassicQuorum(); got != 5 {
+		t.Errorf("ClassicQuorum = %d, want 5", got)
+	}
+}
+
+func TestConfigOthersAndAll(t *testing.T) {
+	c := Config{ID: 1, N: 4, F: 1, E: 1, Delta: 10}
+	others := c.Others()
+	if len(others) != 3 {
+		t.Fatalf("Others() = %v", others)
+	}
+	for _, p := range others {
+		if p == c.ID {
+			t.Fatalf("Others() contains self: %v", others)
+		}
+	}
+	all := c.All()
+	if len(all) != 4 || all[0] != 0 || all[3] != 3 {
+		t.Fatalf("All() = %v", all)
+	}
+}

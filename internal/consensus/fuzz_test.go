@@ -1,0 +1,38 @@
+package consensus_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+)
+
+// FuzzCodecDecode asserts the wire decoder never panics and never returns
+// both a message and an error, whatever bytes arrive from the network.
+func FuzzCodecDecode(f *testing.F) {
+	codec := consensus.NewCodec()
+	core.RegisterMessages(codec)
+	seed := [][]byte{
+		[]byte(`{"kind":"core.2b","body":{"ballot":0,"value":{"key":1}}}`),
+		[]byte(`{"kind":"core.1b","body":{}}`),
+		[]byte(`{"kind":"nope","body":{}}`),
+		[]byte(`{`),
+		[]byte(``),
+		[]byte(`{"kind":"core.2b","body":[1,2,3]}`),
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := codec.Decode(data)
+		if err == nil && msg == nil {
+			t.Fatal("nil message with nil error")
+		}
+		if err == nil {
+			// Whatever decoded must re-encode.
+			if _, err := codec.Encode(msg); err != nil {
+				t.Fatalf("decoded message does not re-encode: %v", err)
+			}
+		}
+	})
+}

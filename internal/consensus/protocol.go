@@ -1,0 +1,59 @@
+package consensus
+
+// Protocol is the deterministic state machine implemented by every consensus
+// protocol in this repository (the paper's protocol in internal/core, and the
+// Paxos, Fast Paxos and EPaxos-style baselines).
+//
+// Determinism contract: given the same sequence of entry-point invocations
+// with the same arguments, a Protocol must produce the same effects and reach
+// the same state. Protocols must not read clocks, random sources, or any
+// other ambient state. This contract is what makes the replayed and spliced
+// executions of internal/lowerbound meaningful, and is checked by property
+// tests.
+type Protocol interface {
+	// ID returns the identity of this process.
+	ID() ProcessID
+
+	// Start is invoked exactly once, when the process boots at time 0,
+	// before any other entry point.
+	Start() []Effect
+
+	// Propose submits value v at this process. For a consensus task the
+	// harness calls Propose once at startup with the process's input; for
+	// a consensus object Propose corresponds to an invocation of
+	// propose(v) and may never be called. v must not be None.
+	Propose(v Value) []Effect
+
+	// Deliver processes message m received from process from.
+	Deliver(from ProcessID, m Message) []Effect
+
+	// Tick fires the named timer. Hosts only fire timers previously armed
+	// via StartTimer and not since re-armed or stopped.
+	Tick(t TimerID) []Effect
+
+	// Decision returns the decided value, if any. Once it reports
+	// ok=true the result never changes.
+	Decision() (v Value, ok bool)
+}
+
+// LeaderOracle abstracts the Ω leader-election service of the paper's
+// Appendix C.1. At any moment it outputs a process the caller should treat
+// as the current leader; eventually all correct processes agree on the same
+// correct leader. The simulator provides an omniscient oracle; live nodes
+// use the heartbeat implementation in internal/omega.
+type LeaderOracle interface {
+	Leader() ProcessID
+}
+
+// FixedLeader is a LeaderOracle that always returns the same process.
+// Useful in tests and for classic leader-driven Paxos configurations.
+type FixedLeader ProcessID
+
+// Leader implements LeaderOracle.
+func (l FixedLeader) Leader() ProcessID { return ProcessID(l) }
+
+// LeaderFunc adapts a function to the LeaderOracle interface.
+type LeaderFunc func() ProcessID
+
+// Leader implements LeaderOracle.
+func (f LeaderFunc) Leader() ProcessID { return f() }

@@ -1,0 +1,114 @@
+package consensus
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// EventKind tags a recorded protocol input.
+type EventKind int
+
+// Recorded input kinds.
+const (
+	EventStart EventKind = iota + 1
+	EventPropose
+	EventDeliver
+	EventTick
+)
+
+// RecordedEvent is one protocol input, as captured by a Recorder.
+type RecordedEvent struct {
+	Kind  EventKind
+	From  ProcessID // EventDeliver
+	Msg   Message   // EventDeliver
+	Value Value     // EventPropose
+	Timer TimerID   // EventTick
+}
+
+// Recorder wraps a Protocol and captures every input fed to it, so the
+// exact execution can be replayed against a fresh instance — the practical
+// form of the determinism contract that the lower-bound machinery and the
+// simulator rely on, and a debugging tool for live clusters (capture a
+// node's inputs, replay them locally).
+type Recorder struct {
+	inner  Protocol
+	events []RecordedEvent
+}
+
+var _ Protocol = (*Recorder)(nil)
+
+// NewRecorder wraps inner.
+func NewRecorder(inner Protocol) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Events returns the captured inputs in order. The returned slice is the
+// recorder's own; callers must not mutate it.
+func (r *Recorder) Events() []RecordedEvent { return r.events }
+
+// ID implements Protocol.
+func (r *Recorder) ID() ProcessID { return r.inner.ID() }
+
+// Start implements Protocol.
+func (r *Recorder) Start() []Effect {
+	r.events = append(r.events, RecordedEvent{Kind: EventStart})
+	return r.inner.Start()
+}
+
+// Propose implements Protocol.
+func (r *Recorder) Propose(v Value) []Effect {
+	r.events = append(r.events, RecordedEvent{Kind: EventPropose, Value: v})
+	return r.inner.Propose(v)
+}
+
+// Deliver implements Protocol.
+func (r *Recorder) Deliver(from ProcessID, m Message) []Effect {
+	r.events = append(r.events, RecordedEvent{Kind: EventDeliver, From: from, Msg: m})
+	return r.inner.Deliver(from, m)
+}
+
+// Tick implements Protocol.
+func (r *Recorder) Tick(t TimerID) []Effect {
+	r.events = append(r.events, RecordedEvent{Kind: EventTick, Timer: t})
+	return r.inner.Tick(t)
+}
+
+// Decision implements Protocol.
+func (r *Recorder) Decision() (Value, bool) { return r.inner.Decision() }
+
+// Replay feeds the recorded events to a fresh protocol instance and returns
+// the effect slices each event produced.
+func Replay(events []RecordedEvent, fresh Protocol) [][]Effect {
+	out := make([][]Effect, 0, len(events))
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventStart:
+			out = append(out, fresh.Start())
+		case EventPropose:
+			out = append(out, fresh.Propose(ev.Value))
+		case EventDeliver:
+			out = append(out, fresh.Deliver(ev.From, ev.Msg))
+		case EventTick:
+			out = append(out, fresh.Tick(ev.Timer))
+		}
+	}
+	return out
+}
+
+// CheckReplayEquivalence replays events against two fresh instances built
+// by factory and verifies they produce identical effects for every event —
+// a machine check of the determinism contract. It returns the index of the
+// first divergence, or an error describing it.
+func CheckReplayEquivalence(events []RecordedEvent, factory func() Protocol) error {
+	a := Replay(events, factory())
+	b := Replay(events, factory())
+	if len(a) != len(b) {
+		return fmt.Errorf("replay: %d vs %d effect batches", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return fmt.Errorf("replay: divergence at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}

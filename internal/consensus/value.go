@@ -1,0 +1,77 @@
+package consensus
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is an element of the totally ordered value domain over which
+// consensus is reached.
+//
+// The paper's protocol (Figure 1) compares proposals: a process accepts a
+// Propose(v) message only if v is at least its own proposal, and the recovery
+// procedure breaks ties by choosing the maximal candidate value. Value
+// therefore carries an ordering key. Data is an opaque payload (for example a
+// state-machine command) that rides along with the key but does not
+// participate in the protocol logic beyond tie-breaking the total order.
+//
+// The bottom element ⊥ of the paper is represented by None; it is smaller
+// than every proposable value and must never be proposed.
+type Value struct {
+	// Key is the primary ordering key. Proposable values must have
+	// Key > math.MinInt64.
+	Key int64 `json:"key"`
+	// Data is an opaque payload. It participates in the total order only
+	// to break Key ties, keeping the order total and deterministic.
+	Data string `json:"data,omitempty"`
+}
+
+// None is the bottom element ⊥: smaller than every proposable value.
+// The zero Value is NOT None; use None explicitly for "no value".
+var None = Value{Key: math.MinInt64}
+
+// IsNone reports whether v is the bottom element ⊥.
+func (v Value) IsNone() bool { return v == None }
+
+// Less reports whether v precedes o in the total order (Key, then Data).
+func (v Value) Less(o Value) bool {
+	if v.Key != o.Key {
+		return v.Key < o.Key
+	}
+	return v.Data < o.Data
+}
+
+// Cmp returns -1, 0, or +1 as v is less than, equal to, or greater than o.
+func (v Value) Cmp(o Value) int {
+	switch {
+	case v.Less(o):
+		return -1
+	case o.Less(v):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MaxValue returns the larger of a and b in the total order.
+func MaxValue(a, b Value) Value {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// IntValue builds a payload-free value from an integer key. It is the
+// conventional way tests and examples construct proposals.
+func IntValue(k int64) Value { return Value{Key: k} }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.IsNone() {
+		return "⊥"
+	}
+	if v.Data == "" {
+		return fmt.Sprintf("v(%d)", v.Key)
+	}
+	return fmt.Sprintf("v(%d,%q)", v.Key, v.Data)
+}

@@ -1,0 +1,104 @@
+package consensus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoneIsSmallest(t *testing.T) {
+	values := []Value{
+		IntValue(math.MinInt64 + 1),
+		IntValue(-1),
+		IntValue(0),
+		IntValue(1),
+		IntValue(math.MaxInt64),
+		{Key: math.MinInt64, Data: "x"}, // same key as None, more data
+	}
+	for _, v := range values {
+		if !None.Less(v) {
+			t.Errorf("None is not less than %v", v)
+		}
+		if v.Less(None) {
+			t.Errorf("%v is less than None", v)
+		}
+	}
+	if None.Less(None) {
+		t.Error("None < None")
+	}
+	if !None.IsNone() {
+		t.Error("None.IsNone() = false")
+	}
+	if IntValue(0).IsNone() {
+		t.Error("v(0) reported as None")
+	}
+}
+
+// TestValueTotalOrder checks the order axioms with testing/quick.
+func TestValueTotalOrder(t *testing.T) {
+	gen := func(k1, k2 int64, d1, d2 string) bool {
+		a := Value{Key: k1, Data: d1}
+		b := Value{Key: k2, Data: d2}
+		// Trichotomy: exactly one of <, >, ==.
+		less, greater, equal := a.Less(b), b.Less(a), a == b
+		count := 0
+		for _, x := range []bool{less, greater, equal} {
+			if x {
+				count++
+			}
+		}
+		if count != 1 {
+			return false
+		}
+		// Cmp consistency.
+		switch a.Cmp(b) {
+		case -1:
+			return less
+		case 1:
+			return greater
+		default:
+			return equal
+		}
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueOrderTransitive(t *testing.T) {
+	gen := func(k1, k2, k3 int64) bool {
+		a, b, c := IntValue(k1%100), IntValue(k2%100), IntValue(k3%100)
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxValue(t *testing.T) {
+	a, b := IntValue(3), IntValue(7)
+	if MaxValue(a, b) != b || MaxValue(b, a) != b {
+		t.Fatal("MaxValue is not commutative-max")
+	}
+	if MaxValue(None, a) != a {
+		t.Fatal("MaxValue(None, a) != a")
+	}
+	if MaxValue(a, a) != a {
+		t.Fatal("MaxValue(a, a) != a")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := None.String(); got != "⊥" {
+		t.Errorf("None.String() = %q", got)
+	}
+	if got := IntValue(5).String(); got != "v(5)" {
+		t.Errorf("IntValue(5).String() = %q", got)
+	}
+	if got := (Value{Key: 5, Data: "x"}).String(); got != `v(5,"x")` {
+		t.Errorf("String() = %q", got)
+	}
+}

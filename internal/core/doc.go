@@ -1,0 +1,49 @@
+// Package core implements the paper's primary contribution: the consensus
+// protocol of Figure 1 in "Revisiting Lower Bounds for Two-Step Consensus"
+// (Ryabinin, Gotsman, Sutra; PODC 2025).
+//
+// The protocol is a Fast-Paxos-like algorithm operating in ballots. Ballot 0
+// is the fast ballot: every proposer broadcasts its proposal in a Propose
+// message; a process accepts a Propose(v) only when it has not voted yet and
+// v is at least its own proposal (plus, in object mode, the red-line
+// condition that it has not itself proposed a different value). A proposer
+// that gathers ballot-0 votes from n−e processes, counting itself, decides
+// after two message delays. All other ballots are slow Paxos-style ballots
+// driven by a leader chosen through an Ω oracle.
+//
+// What makes the protocol use fewer processes than Fast Paxos is the
+// recovery rule run by a new leader over n−f collected 1B messages when the
+// highest vote ballot is 0 (fastRecover in recovery.go): it first discards
+// the votes whose proposers are themselves inside the 1B quorum Q — those
+// proposers demonstrably did not and will never decide on the fast path —
+// and then looks for a value with more than n−f−e surviving votes, or
+// exactly n−f−e votes with a maximal-value tie-break. Lemma 3 of the paper
+// (Lemma 7 for the object variant) shows this always re-selects a value
+// decided on the fast path, for n ≥ 2e+f (task) or n ≥ 2e+f−1 (object).
+//
+// Two modes are provided:
+//
+//   - ModeTask: consensus as a decision task. Every process receives an
+//     input value and the harness calls Propose exactly once at startup.
+//     Requires n ≥ max{2e+f, 2f+1} (Theorem 5).
+//   - ModeObject: consensus as an atomic object. Propose corresponds to an
+//     explicit propose(v) invocation and may never happen at a given
+//     process. Includes the paper's red lines: a process only registers its
+//     own proposal if it has not voted for someone else's, and only accepts
+//     a Propose(v) if it has not proposed, or proposed the same v.
+//     Requires n ≥ max{2e+f−1, 2f+1} (Theorem 6).
+//
+// The Options type exposes the design choices called out for ablation in
+// DESIGN.md §5 (value-ordered fast path, proposer-exclusion set R, equality
+// branch with maximal-value tie-break). Production configurations use
+// DefaultOptions; the ablation benches flip individual switches to
+// demonstrate why each rule is necessary at the tight process counts.
+//
+// One completion relative to the paper's pseudocode is documented on
+// (*Node).recover: if every rule of the 1B aggregation yields ⊥ but some
+// vote is visible, the leader proposes the maximal visible vote. This is
+// unreachable in any execution where a fast-path decision exists (the
+// earlier rules catch those by Lemma 3) and is required for wait-freedom of
+// the object variant when the only proposers of a registered value have
+// crashed.
+package core

@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Example runs the paper's protocol through its fast path in the simulated
+// synchronous-round model: five processes, the object formulation at its
+// tight bound (f = 2, e = 2 on five processes, where Fast Paxos would need
+// seven), a single proposer, decision after exactly two message delays.
+func Example() {
+	sc := runner.Scenario{N: 5, F: 2, E: 2, Delta: 10}
+	factory := func(cfg consensus.Config, oracle consensus.LeaderOracle) consensus.Protocol {
+		node, err := core.New(cfg, core.ModeObject, oracle)
+		if err != nil {
+			panic(err) // example setup; the bound is satisfied by construction
+		}
+		return node
+	}
+	tr, err := runner.EFaultySync(factory, sc, runner.SyncRun{
+		Inputs: map[consensus.ProcessID]consensus.Value{2: consensus.IntValue(42)},
+		Prefer: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	d, _ := tr.DecisionOf(2)
+	fmt.Printf("p2 decided %s at t=%d (2Δ=%d)\n", d.Value, d.At, 2*sc.Delta)
+	// Output:
+	// p2 decided v(42) at t=20 (2Δ=20)
+}

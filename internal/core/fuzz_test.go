@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+)
+
+// FuzzDeliverRobustness drives a node with an arbitrary byte-derived
+// message sequence: whatever a (buggy or malicious) peer sends, the node
+// must not panic, and its decision — once made — must never change.
+func FuzzDeliverRobustness(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, int64(5))
+	f.Add([]byte{9, 9, 9, 1, 1, 1, 200, 31, 7}, int64(-3))
+	f.Add([]byte{}, int64(0))
+	f.Fuzz(func(t *testing.T, script []byte, valSeed int64) {
+		for _, mode := range []core.Mode{core.ModeTask, core.ModeObject} {
+			cfg := consensus.Config{ID: 0, N: 4, F: 1, E: 1, Delta: 10}
+			n := core.NewUnchecked(cfg, mode, core.DefaultOptions(), consensus.FixedLeader(0))
+			n.Start()
+			n.Propose(consensus.IntValue(valSeed))
+
+			decided := consensus.None
+			step := func() {
+				if v, ok := n.Decision(); ok {
+					if !decided.IsNone() && v != decided {
+						t.Fatalf("decision changed from %v to %v", decided, v)
+					}
+					decided = v
+				}
+			}
+			for i := 0; i+1 < len(script); i += 2 {
+				op, arg := script[i], script[i+1]
+				from := consensus.ProcessID(int(arg) % cfg.N)
+				val := consensus.IntValue(int64(arg%7) - 3)
+				bal := consensus.Ballot(int(op)%5 - 1)
+				switch op % 8 {
+				case 0:
+					n.Deliver(from, &core.ProposeMsg{Value: val})
+				case 1:
+					n.Deliver(from, &core.TwoB{Ballot: bal, Value: val})
+				case 2:
+					n.Deliver(from, &core.OneA{Ballot: bal})
+				case 3:
+					n.Deliver(from, &core.OneB{Ballot: bal, VBal: bal, Val: val, Proposer: from, Decided: consensus.None})
+				case 4:
+					n.Deliver(from, &core.TwoA{Ballot: bal, Value: val})
+				case 5:
+					n.Deliver(from, &core.DecideMsg{Value: val})
+				case 6:
+					n.Tick(core.TimerNewBallot)
+				case 7:
+					n.Deliver(from, &core.OneB{Ballot: bal, VBal: 0, Val: consensus.None, Proposer: consensus.NoProcess, Decided: val})
+				}
+				step()
+			}
+		}
+	})
+}

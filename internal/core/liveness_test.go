@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/sim"
+)
+
+// TestObjectTerminatesWhenProposalsMissFastBallot is the regression test
+// for recovery rule 6 + proposer re-submission: both proposals are delayed
+// past the fast ballot (every process has moved to a slow ballot before any
+// Propose arrives), the leader p0 never proposed anything itself, and no
+// vote was ever cast. Without the completions the leader recovers ⊥
+// forever; with them the proposers re-submit to the leader on their timers
+// and the instance decides.
+func TestObjectTerminatesWhenProposalsMissFastBallot(t *testing.T) {
+	const n, f, e = 5, 2, 2
+	delta := consensus.Duration(10)
+
+	cl, err := sim.New(sim.Options{
+		N:     n,
+		Delta: delta,
+		// All Propose broadcasts sent before 2Δ are delayed until long
+		// after every process joined a slow ballot; everything else is
+		// synchronous.
+		Policy:  delayProposals{delta: delta, until: 60 * consensus.Time(delta)},
+		Horizon: consensus.Time(300 * delta),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := cl.Oracle()
+	for i := 0; i < n; i++ {
+		p := consensus.ProcessID(i)
+		cl.SetNode(p, ObjectFactory(scenarioConfig(p, n, f, e, delta), oracle))
+	}
+	cl.SchedulePropose(2, 0, consensus.IntValue(5))
+	cl.SchedulePropose(4, 1, consensus.IntValue(3))
+	tr := cl.Run(func(c *sim.Cluster) bool { return c.AllDecided() })
+
+	if err := tr.CheckObjectSpec(); err != nil {
+		t.Fatalf("object spec: %v", err)
+	}
+	if _, ok := tr.DecisionOf(2); !ok {
+		t.Fatal("proposer p2 never decided")
+	}
+	if _, ok := tr.DecisionOf(4); !ok {
+		t.Fatal("proposer p4 never decided")
+	}
+}
+
+// delayProposals delays every message sent before 2Δ until `until`
+// (messages sent at or after 2Δ flow synchronously). Since the only
+// pre-2Δ messages in the scenario are the initial Propose broadcasts, this
+// models a network that loses the fast window entirely.
+type delayProposals struct {
+	delta consensus.Duration
+	until consensus.Time
+}
+
+func (d delayProposals) Delay(sentAt consensus.Time, from, to consensus.ProcessID) consensus.Duration {
+	if sentAt < 2*consensus.Time(d.delta) {
+		return consensus.Duration(d.until - sentAt)
+	}
+	return sim.Synchronous{Delta: d.delta}.Delay(sentAt, from, to)
+}
+
+// TestObjectTerminatesWhenOnlyProposerCrashes is the regression test for
+// recovery rule 5: the lone proposer's Propose reaches one voter and the
+// proposer crashes. The vote is the only trace of the value; the leader
+// must surface it and the instance must close so that the voter's later
+// propose call (unregistered because it voted) still returns.
+func TestObjectTerminatesWhenOnlyProposerCrashes(t *testing.T) {
+	const n, f, e = 5, 2, 2
+	delta := consensus.Duration(10)
+
+	cl, err := sim.New(sim.Options{
+		N:       n,
+		Delta:   delta,
+		Policy:  sim.Synchronous{Delta: delta},
+		Horizon: consensus.Time(300 * delta),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := cl.Oracle()
+	for i := 0; i < n; i++ {
+		p := consensus.ProcessID(i)
+		cl.SetNode(p, ObjectFactory(scenarioConfig(p, n, f, e, delta), oracle))
+	}
+	// p4 proposes at t=0; its Propose arrives everywhere at Δ, so
+	// everyone votes v(9) — then p4 crashes before collecting votes
+	// (at Δ, before its 2Bs arrive at 2Δ). p1 proposes after voting: its
+	// invocation is not registered, yet it must still get a decision.
+	cl.SchedulePropose(4, 0, consensus.IntValue(9))
+	cl.ScheduleCrash(4, consensus.Time(delta)+1)
+	cl.SchedulePropose(1, consensus.Time(delta)+2, consensus.IntValue(2))
+
+	tr := cl.Run(func(c *sim.Cluster) bool { return c.AllDecided() })
+
+	d, ok := tr.DecisionOf(1)
+	if !ok {
+		t.Fatal("voter p1 never decided")
+	}
+	if d.Value != consensus.IntValue(9) {
+		t.Fatalf("decision %v, want the crashed proposer's v(9)", d.Value)
+	}
+	if err := tr.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scenarioConfig(p consensus.ProcessID, n, f, e int, delta consensus.Duration) consensus.Config {
+	return consensus.Config{ID: p, N: n, F: f, E: e, Delta: delta}
+}

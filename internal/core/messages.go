@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+)
+
+// Message kinds, registered with the wire codec via RegisterMessages.
+const (
+	KindPropose = "core.propose"
+	KindOneA    = "core.1a"
+	KindOneB    = "core.1b"
+	KindTwoA    = "core.2a"
+	KindTwoB    = "core.2b"
+	KindDecide  = "core.decide"
+)
+
+// ProposeMsg is the fast-ballot proposal broadcast at startup or upon a
+// propose(v) invocation (Figure 1, line 5).
+type ProposeMsg struct {
+	Value consensus.Value `json:"value"`
+}
+
+// OneA asks processes to join slow ballot Ballot (Figure 1, 1A).
+type OneA struct {
+	Ballot consensus.Ballot `json:"ballot"`
+}
+
+// OneB reports a process's state to the leader of slow ballot Ballot
+// (Figure 1, 1B). Decided is ⊥ (None) unless the sender has decided.
+type OneB struct {
+	Ballot   consensus.Ballot    `json:"ballot"`
+	VBal     consensus.Ballot    `json:"vbal"`
+	Val      consensus.Value     `json:"val"`
+	Proposer consensus.ProcessID `json:"proposer"`
+	Decided  consensus.Value     `json:"decided"`
+}
+
+// TwoA carries the leader's proposal for slow ballot Ballot (Figure 1, 2A).
+type TwoA struct {
+	Ballot consensus.Ballot `json:"ballot"`
+	Value  consensus.Value  `json:"value"`
+}
+
+// TwoB is a vote for Value at ballot Ballot, sent to the proposer (fast
+// ballot) or the ballot leader (slow ballots) (Figure 1, 2B).
+type TwoB struct {
+	Ballot consensus.Ballot `json:"ballot"`
+	Value  consensus.Value  `json:"value"`
+}
+
+// DecideMsg announces a decided value (Figure 1, Decide).
+type DecideMsg struct {
+	Value consensus.Value `json:"value"`
+}
+
+// Kind implements consensus.Message.
+func (ProposeMsg) Kind() string { return KindPropose }
+
+// Kind implements consensus.Message.
+func (OneA) Kind() string { return KindOneA }
+
+// Kind implements consensus.Message.
+func (OneB) Kind() string { return KindOneB }
+
+// Kind implements consensus.Message.
+func (TwoA) Kind() string { return KindTwoA }
+
+// Kind implements consensus.Message.
+func (TwoB) Kind() string { return KindTwoB }
+
+// Kind implements consensus.Message.
+func (DecideMsg) Kind() string { return KindDecide }
+
+// String implements fmt.Stringer.
+func (m ProposeMsg) String() string { return fmt.Sprintf("Propose(%s)", m.Value) }
+
+// String implements fmt.Stringer.
+func (m OneA) String() string { return fmt.Sprintf("1A(%s)", m.Ballot) }
+
+// String implements fmt.Stringer.
+func (m OneB) String() string {
+	return fmt.Sprintf("1B(%s,vbal=%s,val=%s,prop=%s,dec=%s)", m.Ballot, m.VBal, m.Val, m.Proposer, m.Decided)
+}
+
+// String implements fmt.Stringer.
+func (m TwoA) String() string { return fmt.Sprintf("2A(%s,%s)", m.Ballot, m.Value) }
+
+// String implements fmt.Stringer.
+func (m TwoB) String() string { return fmt.Sprintf("2B(%s,%s)", m.Ballot, m.Value) }
+
+// String implements fmt.Stringer.
+func (m DecideMsg) String() string { return fmt.Sprintf("Decide(%s)", m.Value) }
+
+// RegisterMessages registers all core message kinds with codec.
+func RegisterMessages(codec *consensus.Codec) {
+	codec.MustRegister(KindPropose, func() consensus.Message { return &ProposeMsg{} })
+	codec.MustRegister(KindOneA, func() consensus.Message { return &OneA{} })
+	codec.MustRegister(KindOneB, func() consensus.Message { return &OneB{} })
+	codec.MustRegister(KindTwoA, func() consensus.Message { return &TwoA{} })
+	codec.MustRegister(KindTwoB, func() consensus.Message { return &TwoB{} })
+	codec.MustRegister(KindDecide, func() consensus.Message { return &DecideMsg{} })
+}

@@ -1,0 +1,53 @@
+package core
+
+// Mode selects the consensus formulation implemented by a Node.
+type Mode int
+
+const (
+	// ModeTask runs the black-lines-only protocol of Figure 1: consensus
+	// as a decision task, sound for n ≥ max{2e+f, 2f+1}.
+	ModeTask Mode = iota + 1
+	// ModeObject additionally enables the paper's red lines: consensus as
+	// an atomic object, sound for n ≥ max{2e+f−1, 2f+1}.
+	ModeObject
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeTask:
+		return "task"
+	case ModeObject:
+		return "object"
+	default:
+		return "mode(?)"
+	}
+}
+
+// Options exposes the protocol's load-bearing design choices so that the
+// ablation benches can demonstrate each one is necessary (DESIGN.md §5).
+// Production deployments must use DefaultOptions.
+type Options struct {
+	// ValueOrdering enables the fast-path acceptance rule v ≥ initial_val
+	// (Figure 1, Propose precondition). Disabling it makes processes
+	// accept whichever Propose arrives first, Fast-Paxos style, which
+	// breaks item 2 of Definition 4 at n = 2e+f under conflicts.
+	ValueOrdering bool
+	// ExcludeProposers enables the recovery set R = {q ∈ Q : proposer_q ∉ Q}
+	// (Figure 1, 1B handler). Disabling it counts all votes in Q, which
+	// is exactly Fast Paxos's recovery and is unsafe below n = 2e+f+1.
+	ExcludeProposers bool
+	// EqualityBranch enables the |S| = n−f−e branch with the
+	// maximal-value tie-break. Disabling it loses fast decisions whose
+	// votes intersect the 1B quorum in exactly n−f−e processes.
+	EqualityBranch bool
+}
+
+// DefaultOptions returns the paper's protocol exactly as specified.
+func DefaultOptions() Options {
+	return Options{
+		ValueOrdering:    true,
+		ExcludeProposers: true,
+		EqualityBranch:   true,
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/consensus"
+)
+
+// recover computes the value a new leader must propose in its slow ballot,
+// from the n−f collected 1B reports (Figure 1, lines 25–36). The rules, in
+// order:
+//
+//  1. If some process reports a decided value, propose it.
+//  2. Otherwise, if a vote was cast in a slow ballot, propose the value of
+//     the highest such ballot (classic Paxos rule).
+//  3. Otherwise all votes are fast-ballot votes. Restrict attention to the
+//     set R of reports whose vote's proposer is NOT in the 1B quorum Q:
+//     proposers inside Q demonstrably never decided on the fast path and
+//     never will (they joined this ballot before collecting a fast quorum).
+//     a. If a value has strictly more than n−f−e votes in R, propose it
+//     (unique at legal process counts — Lemma 3 / Lemma 7).
+//     b. Else if one or more values have exactly n−f−e votes in R, propose
+//     the greatest (the value ordering of the fast path guarantees any
+//     fast-decided value is the greatest candidate).
+//  4. Otherwise propose this leader's own proposal, if it made one.
+//  5. Completion (documented in the package comment): propose the greatest
+//     visible vote, if any. Unreachable when a fast decision exists; needed
+//     for object-mode wait-freedom when every registered proposer crashed.
+//  6. Completion: propose the greatest value seen in any Propose message.
+//     Needed for object-mode wait-freedom when proposals were delayed past
+//     the fast ballot so that no vote was ever cast; proposers re-submit to
+//     the leader on every timer expiry, so after GST the leader knows them.
+//
+// Rules 5 and 6 are safe for the same reason rule 4 is: they only run when
+// rules 1–3 found no possible decision at any ballot, and any value they
+// yield was genuinely proposed (Validity).
+//
+// It returns ⊥ (None) when no value can be formed, in which case the leader
+// stays silent and retries at the next timer expiry.
+func (n *Node) recover(reports map[consensus.ProcessID]OneB) consensus.Value {
+	members := make([]consensus.ProcessID, 0, len(reports))
+	for q := range reports {
+		members = append(members, q)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	// Rule 1: a decided value wins outright.
+	for _, q := range members {
+		if d := reports[q].Decided; !d.IsNone() {
+			return d
+		}
+	}
+
+	// Rule 2: highest slow-ballot vote.
+	var bmax consensus.Ballot
+	for _, q := range members {
+		if vb := reports[q].VBal; vb > bmax {
+			bmax = vb
+		}
+	}
+	if bmax > 0 {
+		best := consensus.None
+		for _, q := range members {
+			if reports[q].VBal == bmax {
+				best = consensus.MaxValue(best, reports[q].Val)
+			}
+		}
+		return best
+	}
+
+	// Rule 3: fast-ballot recovery over R.
+	inQ := make(map[consensus.ProcessID]struct{}, len(members))
+	for _, q := range members {
+		inQ[q] = struct{}{}
+	}
+	counts := make(map[consensus.Value]int)
+	for _, q := range members {
+		r := reports[q]
+		if r.Val.IsNone() {
+			continue
+		}
+		if n.opts.ExcludeProposers {
+			if _, proposerJoined := inQ[r.Proposer]; proposerJoined {
+				continue // q ∉ R
+			}
+		}
+		counts[r.Val]++
+	}
+	threshold := n.cfg.N - n.cfg.F - n.cfg.E
+	if v := maxValueWithCountAbove(counts, threshold); !v.IsNone() {
+		return v // rule 3a: > n−f−e votes
+	}
+	if n.opts.EqualityBranch && threshold > 0 {
+		if v := maxValueWithCountExactly(counts, threshold); !v.IsNone() {
+			return v // rule 3b: exactly n−f−e votes, maximal value
+		}
+	}
+
+	// Rule 4: the leader's own proposal.
+	if !n.initialVal.IsNone() {
+		return n.initialVal
+	}
+
+	// Rule 5: termination completion — greatest visible vote.
+	best := consensus.None
+	for _, q := range members {
+		if v := reports[q].Val; !v.IsNone() {
+			best = consensus.MaxValue(best, v)
+		}
+	}
+	if !best.IsNone() {
+		return best
+	}
+
+	// Rule 6: termination completion — greatest proposal merely seen in a
+	// Propose message (possibly re-submitted to us as leader by an
+	// undecided proposer). Like rule 5 this is unreachable whenever any
+	// decision exists, because rules 1–3 catch those.
+	return n.pendingMax
+}
+
+// ComputeRecovery exposes the leader's value-selection rule for analysis
+// and ablation studies: given a hypothetical set of 1B reports it returns
+// the value this node would propose. It does not change the node's state.
+func (n *Node) ComputeRecovery(reports map[consensus.ProcessID]OneB) consensus.Value {
+	return n.recover(reports)
+}
+
+// maxValueWithCountAbove returns the greatest value whose count strictly
+// exceeds threshold, or ⊥ if none. At legal process counts at most one value
+// can exceed the threshold; taking the maximum keeps the rule deterministic
+// even in deliberately infeasible lower-bound experiments.
+func maxValueWithCountAbove(counts map[consensus.Value]int, threshold int) consensus.Value {
+	best := consensus.None
+	for v, c := range counts {
+		if c > threshold {
+			best = consensus.MaxValue(best, v)
+		}
+	}
+	return best
+}
+
+// maxValueWithCountExactly returns the greatest value whose count equals
+// threshold, or ⊥ if none.
+func maxValueWithCountExactly(counts map[consensus.Value]int, threshold int) consensus.Value {
+	best := consensus.None
+	for v, c := range counts {
+		if c == threshold {
+			best = consensus.MaxValue(best, v)
+		}
+	}
+	return best
+}

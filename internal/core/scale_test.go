@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+// TestFastPathAtScale runs the fast path on a 19-process deployment
+// (f=7, e=6 at the object bound 2e+f−1=18… rounded up to satisfy 2f+1):
+// the protocol's quorum arithmetic and the simulator must handle larger
+// clusters without drama.
+func TestFastPathAtScale(t *testing.T) {
+	f, e := 7, 6
+	n := quorum.ObjectMinProcesses(f, e) // max{18, 15} = 18
+	sc := runner.Scenario{N: n, F: f, E: e, Delta: 10}
+
+	var faulty []consensus.ProcessID
+	for i := 0; i < e; i++ {
+		faulty = append(faulty, consensus.ProcessID(n-1-i))
+	}
+	proxy := consensus.ProcessID(3)
+	tr, err := runner.EFaultySync(ObjectFactory, sc, runner.SyncRun{
+		Faulty: faulty,
+		Inputs: map[consensus.ProcessID]consensus.Value{proxy: consensus.IntValue(7)},
+		Prefer: proxy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.TwoStepFor(proxy, sc.Delta) {
+		t.Fatalf("n=%d: proxy not two-step under %d crashes: %v", n, e, tr.Decisions)
+	}
+}
+
+// TestSoakAtScale runs the randomized campaign at n=15.
+func TestSoakAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n soak")
+	}
+	f, e := 7, 4
+	n := quorum.TaskMinProcesses(f, e) // max{15, 15} = 15
+	sc := runner.Scenario{N: n, F: f, E: e, Delta: 10, Seed: 99}
+	res := runner.Soak(TaskFactory, sc, runner.SoakOptions{Runs: 25, MaxCrashes: f})
+	if !res.OK() {
+		t.Fatalf("scale soak: %s\n%v", res, res.Failures)
+	}
+}

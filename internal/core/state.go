@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/consensus"
+)
+
+// State is the durable part of a Node: everything whose loss across a
+// restart could violate safety. Volatile bookkeeping (collected fast votes,
+// leader state for an in-flight ballot, pending re-announcements) is
+// deliberately excluded — losing it can only delay progress, never break
+// agreement, because the restarted node re-enters the protocol through a
+// fresh slow ballot if needed.
+//
+// A host that wants crash-recovery semantics (as opposed to the paper's
+// crash-stop model) must persist the state after every step that changed it
+// and restore before processing further input.
+type State struct {
+	Mode       Mode                `json:"mode"`
+	InitialVal consensus.Value     `json:"initialVal"`
+	Val        consensus.Value     `json:"val"`
+	Proposer   consensus.ProcessID `json:"proposer"`
+	Bal        consensus.Ballot    `json:"bal"`
+	VBal       consensus.Ballot    `json:"vbal"`
+	Decided    consensus.Value     `json:"decided"`
+	PendingMax consensus.Value     `json:"pendingMax"`
+}
+
+// Snapshot exports the node's durable state.
+func (n *Node) Snapshot() State {
+	return State{
+		Mode:       n.mode,
+		InitialVal: n.initialVal,
+		Val:        n.val,
+		Proposer:   n.proposer,
+		Bal:        n.bal,
+		VBal:       n.vbal,
+		Decided:    n.decided,
+		PendingMax: n.pendingMax,
+	}
+}
+
+// SnapshotJSON exports the durable state as JSON, for journals.
+func (n *Node) SnapshotJSON() ([]byte, error) {
+	data, err := json.Marshal(n.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("core snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// Restore installs a previously exported state on a fresh node. It must be
+// called before Start and fails on a mode mismatch.
+func (n *Node) Restore(s State) error {
+	if s.Mode != 0 && s.Mode != n.mode {
+		return fmt.Errorf("core restore: snapshot mode %s, node mode %s", s.Mode, n.mode)
+	}
+	n.initialVal = s.InitialVal
+	n.val = s.Val
+	n.proposer = s.Proposer
+	n.bal = s.Bal
+	n.vbal = s.VBal
+	n.decided = s.Decided
+	n.pendingMax = s.PendingMax
+	if !n.decided.IsNone() {
+		n.rebroadcasts = decidedRebroadcasts
+	}
+	return nil
+}
+
+// RestoreJSON installs a JSON-encoded state.
+func (n *Node) RestoreJSON(data []byte) error {
+	var s State
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("core restore: %w", err)
+	}
+	return n.Restore(s)
+}
+
+// DumpState returns a canonical dump of the node's FULL state — durable and
+// volatile — for the model checker's state deduplication (internal/mc). Two
+// nodes with equal dumps behave identically on all future inputs.
+func (n *Node) DumpState() string {
+	votes := make([]int, 0, len(n.fastVotes))
+	for p := range n.fastVotes {
+		votes = append(votes, int(p))
+	}
+	sort.Ints(votes)
+	oneBs := make([]string, 0, len(n.lead.oneBs))
+	for p, ob := range n.lead.oneBs {
+		oneBs = append(oneBs, fmt.Sprintf("%d:%+v", p, ob))
+	}
+	sort.Strings(oneBs)
+	twoBs := make([]int, 0, len(n.lead.twoBs))
+	for p := range n.lead.twoBs {
+		twoBs = append(twoBs, int(p))
+	}
+	sort.Ints(twoBs)
+	return fmt.Sprintf("iv=%v v=%v pr=%d b=%d vb=%d d=%v pm=%v rb=%d fv=%v|lead{b=%d 1b=%v s2a=%v lv=%v 2b=%v}",
+		n.initialVal, n.val, n.proposer, n.bal, n.vbal, n.decided, n.pendingMax, n.rebroadcasts, votes,
+		n.lead.ballot, oneBs, n.lead.sentTwoA, n.lead.val, twoBs)
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	n := newTestNode(t, 0, ModeTask)
+	n.Propose(consensus.IntValue(5))
+	n.Deliver(1, &ProposeMsg{Value: consensus.IntValue(7)}) // vote
+	n.Deliver(2, &OneA{Ballot: 6})                          // join slow ballot
+
+	data, err := n.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := newTestNode(t, 0, ModeTask)
+	if err := fresh.RestoreJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Snapshot() != n.Snapshot() {
+		t.Fatalf("state mismatch:\n%+v\n%+v", fresh.Snapshot(), n.Snapshot())
+	}
+
+	// The restored node honours its vote and ballot like the original.
+	if effs := fresh.Deliver(3, &ProposeMsg{Value: consensus.IntValue(9)}); len(effs) != 0 {
+		t.Fatalf("restored node voted again on the fast ballot: %v", effs)
+	}
+	if effs := fresh.Deliver(3, &OneA{Ballot: 4}); len(effs) != 0 {
+		t.Fatalf("restored node accepted a stale ballot: %v", effs)
+	}
+	effs := fresh.Deliver(3, &OneA{Ballot: 10})
+	ok := false
+	for _, e := range effs {
+		if s, isSend := e.(consensus.Send); isSend {
+			if ob, is1b := s.Msg.(*OneB); is1b {
+				ok = true
+				if ob.Val != consensus.IntValue(7) || ob.Proposer != 1 {
+					t.Fatalf("restored 1B carries wrong vote: %v", ob)
+				}
+			}
+		}
+	}
+	if !ok {
+		t.Fatalf("restored node did not answer a higher ballot: %v", effs)
+	}
+}
+
+func TestRestoreDecidedNodeAnswersStragglers(t *testing.T) {
+	n := newTestNode(t, 0, ModeObject)
+	n.Deliver(1, &DecideMsg{Value: consensus.IntValue(4)})
+	snap := n.Snapshot()
+
+	fresh := newTestNode(t, 0, ModeObject)
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fresh.Decision(); !ok || v != consensus.IntValue(4) {
+		t.Fatalf("Decision after restore = %v %v", v, ok)
+	}
+	effs := fresh.Deliver(2, &ProposeMsg{Value: consensus.IntValue(9)})
+	if !effectsContain(effs, isSendKind(KindDecide)) {
+		t.Fatalf("restored decided node silent to straggler: %v", effs)
+	}
+}
+
+func TestRestoreModeMismatch(t *testing.T) {
+	task := newTestNode(t, 0, ModeTask)
+	snap := task.Snapshot()
+	object := newTestNode(t, 0, ModeObject)
+	if err := object.Restore(snap); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+}
+
+func TestRestoreBadJSON(t *testing.T) {
+	n := newTestNode(t, 0, ModeTask)
+	if err := n.RestoreJSON([]byte("{")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

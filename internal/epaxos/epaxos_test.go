@@ -1,0 +1,136 @@
+package epaxos_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/epaxos"
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// scenarioFor returns the canonical EPaxos setting for resilience f:
+// n = 2f+1 processes, e = ⌈(f+1)/2⌉.
+func scenarioFor(f int) runner.Scenario {
+	return runner.Scenario{
+		N:     2*f + 1,
+		F:     f,
+		E:     quorum.EPaxosFastThreshold(f),
+		Delta: 10,
+	}
+}
+
+func TestNewValidatesParameters(t *testing.T) {
+	cfg := consensus.Config{ID: 0, N: 5, F: 2, E: 1, Delta: 10}
+	if _, err := epaxos.New(cfg, 0, consensus.FixedLeader(0)); err == nil {
+		t.Fatal("New accepted e ≠ ⌈(f+1)/2⌉")
+	}
+	cfg.E = quorum.EPaxosFastThreshold(2)
+	if _, err := epaxos.New(cfg, 0, consensus.FixedLeader(0)); err != nil {
+		t.Fatalf("New rejected canonical parameters: %v", err)
+	}
+}
+
+func TestOwnerCommitsFastUnderECrashes(t *testing.T) {
+	for _, f := range []int{1, 2, 3} {
+		sc := scenarioFor(f)
+		owner := consensus.ProcessID(0)
+		// Crash the e highest-id processes; the owner must still
+		// commit at 2Δ with the remaining n−e (= fast quorum).
+		var faulty []consensus.ProcessID
+		for i := 0; i < sc.E; i++ {
+			faulty = append(faulty, consensus.ProcessID(sc.N-1-i))
+		}
+		tr, err := runner.EFaultySync(protocols.EPaxosFactory(owner), sc, runner.SyncRun{
+			Faulty: faulty,
+			Inputs: map[consensus.ProcessID]consensus.Value{owner: consensus.IntValue(7)},
+			Prefer: owner,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.TwoStepFor(owner, sc.Delta) {
+			t.Errorf("f=%d n=%d e=%d: owner not two-step: %v", f, sc.N, sc.E, tr.Decisions)
+		}
+	}
+}
+
+func TestOwnerCannotCommitFastBeyondE(t *testing.T) {
+	f := 2
+	sc := scenarioFor(f) // n=5, e=2, fast quorum 3
+	owner := consensus.ProcessID(0)
+	faulty := []consensus.ProcessID{2, 3, 4} // e+1 crashes
+	tr, err := runner.EFaultySync(protocols.EPaxosFactory(owner), sc, runner.SyncRun{
+		Faulty: faulty,
+		Inputs: map[consensus.ProcessID]consensus.Value{owner: consensus.IntValue(7)},
+		Prefer: owner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.TwoStepProcesses(sc.Delta); len(got) != 0 {
+		t.Fatalf("no two-step decision expected with e+1 crashes, got %v", got)
+	}
+}
+
+func TestRecoveryCommitsOwnersValueWhenVisible(t *testing.T) {
+	// The owner proposes, reaches part of the cluster, and crashes. The
+	// recovery must commit the owner's value if a fast commit was
+	// possible, and in any case terminate with agreement.
+	f := 2
+	sc := scenarioFor(f)
+	owner := consensus.ProcessID(0)
+	tr, err := runner.EFaultySync(protocols.EPaxosFactory(owner), sc, runner.SyncRun{
+		Faulty:  []consensus.ProcessID{},
+		Inputs:  map[consensus.ProcessID]consensus.Value{owner: consensus.IntValue(7)},
+		Prefer:  owner,
+		Horizon: consensus.Time(300 * sc.Delta),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := tr.DecisionOf(owner)
+	if !ok || d.Value != consensus.IntValue(7) {
+		t.Fatalf("owner decision = %v ok=%v, want v(7)", d, ok)
+	}
+}
+
+func TestRecoveryCommitsNoopWhenOwnerSilent(t *testing.T) {
+	// The owner crashes before proposing: recovery must close the
+	// instance with Noop.
+	f := 2
+	sc := scenarioFor(f)
+	owner := consensus.ProcessID(0)
+	cl, err := sim.New(sim.Options{
+		N:       sc.N,
+		Delta:   sc.Delta,
+		Policy:  sim.Synchronous{Delta: sc.Delta},
+		Horizon: consensus.Time(300 * sc.Delta),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := cl.Oracle()
+	fac := protocols.EPaxosFactory(owner)
+	for i := 0; i < sc.N; i++ {
+		p := consensus.ProcessID(i)
+		cl.SetNode(p, fac(sc.Config(p), oracle))
+	}
+	cl.ScheduleCrash(owner, 0)
+	tr := cl.Run(func(c *sim.Cluster) bool { return c.AllDecided() })
+	if err := tr.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := tr.DecisionOf(1)
+	if !ok {
+		t.Fatal("survivors did not close the instance")
+	}
+	if d.Value != epaxos.Noop {
+		t.Fatalf("decision = %v, want Noop", d.Value)
+	}
+}

@@ -1,0 +1,61 @@
+package fastpaxos_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/fastpaxos"
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+func TestNewEnforcesLamportBound(t *testing.T) {
+	cfg := consensus.Config{ID: 0, N: 3, F: 1, E: 1, Delta: 10} // Lamport needs 4
+	if _, err := fastpaxos.New(cfg, consensus.FixedLeader(0)); !errors.Is(err, quorum.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible at n=3 f=1 e=1, got %v", err)
+	}
+	cfg.N = 4
+	if _, err := fastpaxos.New(cfg, consensus.FixedLeader(0)); err != nil {
+		t.Fatalf("New at Lamport bound: %v", err)
+	}
+}
+
+func TestTwoStepAtLamportBound(t *testing.T) {
+	cases := []struct{ f, e int }{{1, 1}, {2, 1}, {2, 2}}
+	for _, c := range cases {
+		n := quorum.LamportMinProcesses(c.f, c.e)
+		sc := runner.Scenario{N: n, F: c.f, E: c.e, Delta: 10, Seed: 5}
+		report := runner.TaskTwoStep(protocols.FastPaxosFactory, sc)
+		if !report.OK() {
+			t.Errorf("fastpaxos f=%d e=%d n=%d: %s\nitem1: %v\nitem2: %v",
+				c.f, c.e, n, report, report.Item1.Failures, report.Item2.Failures)
+		}
+	}
+}
+
+func TestSoakAtLamportBound(t *testing.T) {
+	sc := runner.Scenario{N: 6, F: 2, E: 1, Delta: 10, Seed: 9} // 2e+f+1 = 6 > 2f+1
+	res := runner.Soak(protocols.FastPaxosFactory, sc, runner.SoakOptions{Runs: 60, MaxCrashes: 2})
+	if !res.OK() {
+		t.Fatalf("soak: %s\n%v", res, res.Failures)
+	}
+}
+
+func TestFastDecisionAtTwoDelta(t *testing.T) {
+	sc := runner.Scenario{N: 4, F: 1, E: 1, Delta: 10}
+	inputs := map[consensus.ProcessID]consensus.Value{
+		0: consensus.IntValue(4),
+		1: consensus.IntValue(9),
+		2: consensus.IntValue(1),
+		3: consensus.IntValue(2),
+	}
+	tr, err := runner.EFaultySync(protocols.FastPaxosFactory, sc, runner.SyncRun{Inputs: inputs, Prefer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.TwoStepFor(1, sc.Delta) {
+		t.Fatalf("p1 not two-step: %v", tr.Decisions)
+	}
+}

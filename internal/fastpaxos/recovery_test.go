@@ -1,0 +1,78 @@
+package fastpaxos
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+func recoveryNode(t *testing.T, n, f, e int) *Node {
+	t.Helper()
+	cfg := consensus.Config{ID: 0, N: n, F: f, E: e, Delta: 10}
+	return NewUnchecked(cfg, consensus.FixedLeader(0))
+}
+
+func fpReport(vbal consensus.Ballot, val consensus.Value) OneB {
+	return OneB{Ballot: 1, VBal: vbal, Val: val}
+}
+
+func TestRecoverPrefersSlowBallotVote(t *testing.T) {
+	n := recoveryNode(t, 7, 2, 2)
+	reports := map[consensus.ProcessID]OneB{
+		1: fpReport(0, consensus.IntValue(9)),
+		2: fpReport(3, consensus.IntValue(4)),
+		3: fpReport(0, consensus.IntValue(9)),
+		4: fpReport(0, consensus.None),
+		5: fpReport(0, consensus.None),
+	}
+	if got := n.recover(reports); got != consensus.IntValue(4) {
+		t.Fatalf("recover = %v, want slow-ballot v(4)", got)
+	}
+}
+
+func TestRecoverO4PicksQuorateValue(t *testing.T) {
+	// n=7, f=2, e=2 (Lamport bound): O4 threshold n−e−f = 3. A value
+	// with ≥3 votes among the 5 reports may have been fast-chosen.
+	n := recoveryNode(t, 7, 2, 2)
+	reports := map[consensus.ProcessID]OneB{
+		1: fpReport(0, consensus.IntValue(9)),
+		2: fpReport(0, consensus.IntValue(9)),
+		3: fpReport(0, consensus.IntValue(9)),
+		4: fpReport(0, consensus.IntValue(5)),
+		5: fpReport(0, consensus.IntValue(5)),
+	}
+	if got := n.recover(reports); got != consensus.IntValue(9) {
+		t.Fatalf("recover = %v, want O4 pick v(9)", got)
+	}
+}
+
+func TestRecoverFallsBackToOwnThenVotes(t *testing.T) {
+	n := recoveryNode(t, 7, 2, 2)
+	n.initialVal = consensus.IntValue(6)
+	reports := map[consensus.ProcessID]OneB{
+		1: fpReport(0, consensus.IntValue(9)), // below O4 threshold
+		2: fpReport(0, consensus.None),
+		3: fpReport(0, consensus.None),
+		4: fpReport(0, consensus.None),
+		5: fpReport(0, consensus.None),
+	}
+	if got := n.recover(reports); got != consensus.IntValue(6) {
+		t.Fatalf("recover = %v, want coordinator's own v(6)", got)
+	}
+	// Without an own value, the greatest visible vote.
+	n2 := recoveryNode(t, 7, 2, 2)
+	if got := n2.recover(reports); got != consensus.IntValue(9) {
+		t.Fatalf("recover = %v, want visible vote v(9)", got)
+	}
+}
+
+func TestRecoverNothingVisible(t *testing.T) {
+	n := recoveryNode(t, 7, 2, 2)
+	reports := map[consensus.ProcessID]OneB{
+		1: fpReport(0, consensus.None),
+		2: fpReport(0, consensus.None),
+	}
+	if got := n.recover(reports); !got.IsNone() {
+		t.Fatalf("recover = %v, want ⊥", got)
+	}
+}

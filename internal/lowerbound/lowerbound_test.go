@@ -1,0 +1,163 @@
+package lowerbound_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+)
+
+const delta = consensus.Duration(10)
+
+func TestTaskWitnessBelowBoundViolates(t *testing.T) {
+	cases := []struct{ f, e int }{{2, 2}, {3, 2}, {3, 3}, {4, 3}}
+	for _, c := range cases {
+		n := 2*c.e + c.f - 1 // one below the 2e+f side of the bound
+		w, err := lowerbound.TaskWitness(protocols.CoreTaskFactory, n, c.f, c.e, delta)
+		if err != nil {
+			t.Fatalf("f=%d e=%d: %v", c.f, c.e, err)
+		}
+		if !w.FastDecided {
+			t.Errorf("f=%d e=%d n=%d: construction failed to produce a fast decision: %s", c.f, c.e, n, w)
+			continue
+		}
+		if !w.Violated {
+			t.Errorf("f=%d e=%d n=%d: expected agreement violation below bound: %s", c.f, c.e, n, w)
+		}
+	}
+}
+
+func TestTaskWitnessAtBoundSafe(t *testing.T) {
+	cases := []struct{ f, e int }{{2, 2}, {3, 2}, {3, 3}, {4, 3}}
+	for _, c := range cases {
+		n := quorum.TaskMinProcesses(c.f, c.e)
+		w, err := lowerbound.TaskWitness(protocols.CoreTaskFactory, n, c.f, c.e, delta)
+		if err != nil {
+			t.Fatalf("f=%d e=%d: %v", c.f, c.e, err)
+		}
+		if w.Violated {
+			t.Errorf("f=%d e=%d n=%d: agreement violated AT the bound: %s", c.f, c.e, n, w)
+		}
+		if !w.FastDecided {
+			t.Errorf("f=%d e=%d n=%d: fast decision expected at the bound: %s", c.f, c.e, n, w)
+		}
+		if w.FastDecided && !w.SurvivorValue.IsNone() && w.SurvivorValue != w.FastValue {
+			t.Errorf("f=%d e=%d n=%d: survivors diverged: %s", c.f, c.e, n, w)
+		}
+	}
+}
+
+func TestObjectWitnessBelowBoundViolates(t *testing.T) {
+	cases := []struct{ f, e int }{{3, 3}, {4, 4}, {5, 4}}
+	for _, c := range cases {
+		n := 2*c.e + c.f - 2
+		w, err := lowerbound.ObjectWitness(protocols.CoreObjectFactory, n, c.f, c.e, delta)
+		if err != nil {
+			t.Fatalf("f=%d e=%d: %v", c.f, c.e, err)
+		}
+		if !w.FastDecided {
+			t.Errorf("f=%d e=%d n=%d: construction failed to produce a fast decision: %s", c.f, c.e, n, w)
+			continue
+		}
+		if !w.Violated {
+			t.Errorf("f=%d e=%d n=%d: expected agreement violation below bound: %s", c.f, c.e, n, w)
+		}
+	}
+}
+
+func TestObjectWitnessAtBoundSafe(t *testing.T) {
+	cases := []struct{ f, e int }{{3, 3}, {4, 4}, {5, 4}}
+	for _, c := range cases {
+		n := quorum.ObjectMinProcesses(c.f, c.e)
+		w, err := lowerbound.ObjectWitness(protocols.CoreObjectFactory, n, c.f, c.e, delta)
+		if err != nil {
+			t.Fatalf("f=%d e=%d: %v", c.f, c.e, err)
+		}
+		if w.Violated {
+			t.Errorf("f=%d e=%d n=%d: agreement violated AT the bound: %s", c.f, c.e, n, w)
+		}
+		if !w.FastDecided {
+			t.Errorf("f=%d e=%d n=%d: fast decision expected at the bound: %s", c.f, c.e, n, w)
+		}
+	}
+}
+
+func TestFastPaxosViolatedBelowLamportBound(t *testing.T) {
+	// Fast Paxos's unordered fast path at n = 2e+f (one below Lamport's
+	// bound, yet exactly the paper's task bound) fast-decides the *lower*
+	// value in the low-fast schedule; recovery's maximal tie-break then
+	// picks the other side's value.
+	cases := []struct{ f, e int }{{2, 2}, {3, 3}}
+	for _, c := range cases {
+		n := 2*c.e + c.f
+		w, err := lowerbound.TaskWitnessVariant(protocols.FastPaxosFactory, n, c.f, c.e, delta, lowerbound.TaskLowFast)
+		if err != nil {
+			t.Fatalf("f=%d e=%d: %v", c.f, c.e, err)
+		}
+		if !w.FastDecided || !w.Violated {
+			t.Errorf("fastpaxos f=%d e=%d n=%d: expected fast decision + violation, got %s", c.f, c.e, n, w)
+		}
+	}
+}
+
+func TestCoreTaskSurvivesLowFastScheduleAtBound(t *testing.T) {
+	// The same schedule cannot trick the paper's protocol at n = 2e+f:
+	// the value ordering stops the lower value from fast-deciding at all.
+	cases := []struct{ f, e int }{{2, 2}, {3, 3}}
+	for _, c := range cases {
+		n := 2*c.e + c.f
+		w, err := lowerbound.TaskWitnessVariant(protocols.CoreTaskFactory, n, c.f, c.e, delta, lowerbound.TaskLowFast)
+		if err != nil {
+			t.Fatalf("f=%d e=%d: %v", c.f, c.e, err)
+		}
+		if w.Violated {
+			t.Errorf("core-task f=%d e=%d n=%d: violated on low-fast schedule: %s", c.f, c.e, n, w)
+		}
+	}
+}
+
+func TestAblationValueOrderingIsLoadBearing(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.ValueOrdering = false
+	fac := protocols.CoreAblatedFactory(core.ModeTask, opts)
+	n, f, e := 2*2+2, 2, 2
+	w, err := lowerbound.TaskWitnessVariant(fac, n, f, e, delta, lowerbound.TaskLowFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.FastDecided || !w.Violated {
+		t.Errorf("no-ordering ablation at n=%d should violate on low-fast schedule: %s", n, w)
+	}
+}
+
+func TestAblationProposerExclusionIsLoadBearing(t *testing.T) {
+	n, f, e := 2*2+2, 2, 2
+
+	// With the paper's rule: safe.
+	w, err := lowerbound.TaskWitnessVariant(protocols.CoreTaskFactory, n, f, e, delta, lowerbound.TaskInsiderProposer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Violated {
+		t.Errorf("core-task with R-exclusion violated on insider schedule: %s", w)
+	}
+	if !w.FastDecided {
+		t.Errorf("insider schedule should still fast-decide: %s", w)
+	}
+
+	// Without proposer exclusion: the insiders' surviving votes win the
+	// tie-break and betray the fast decision.
+	opts := core.DefaultOptions()
+	opts.ExcludeProposers = false
+	fac := protocols.CoreAblatedFactory(core.ModeTask, opts)
+	w2, err := lowerbound.TaskWitnessVariant(fac, n, f, e, delta, lowerbound.TaskInsiderProposer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.FastDecided || !w2.Violated {
+		t.Errorf("no-exclusion ablation should violate on insider schedule: %s", w2)
+	}
+}

@@ -1,0 +1,74 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+// ObjectWitness executes the §B.2 construction against a consensus-object
+// protocol on n processes. Only two processes ever call propose:
+//
+//	F   = {0, …, f−3}           bridge inside both quorums, crashes at 2Δ
+//	p   = f−2                   proposes lo; fast-decides at 2Δ, silenced
+//	q   = f−1                   proposes hi; crashes at 2Δ
+//	E₀* = {f, …, f+a−1}         votes lo (a = n−e−f+1)
+//	E₁* = {f+a, …, n−1}         votes hi
+//
+// E₀ = F ∪ {p} ∪ E₀* and E₁ = F ∪ {q} ∪ E₁* are the two (n−e)-quorums of
+// the proof. Traffic between E₀ and {q} ∪ E₁* sent before 2Δ is delayed, so
+// each side is consistent with a run in which the other side's proposer is
+// alone. p collects votes from F ∪ E₀* (n−e−1 processes) and decides lo at
+// 2Δ; F ∪ {q} crash at 2Δ and p is silenced and crashes, for a budget of f.
+// The survivors E₀* ∪ E₁* (exactly n−f) recover. At n = 2e+f−2 (one below
+// Theorem 6's bound) both values have e−1 > n−f−e surviving votes, recovery
+// cannot distinguish them, and the deterministic tie-break picks hi ≠ lo:
+// an agreement violation. At n = 2e+f−1 the lo votes strictly dominate and
+// recovery re-selects lo.
+func ObjectWitness(fac runner.Factory, n, f, e int, delta consensus.Duration) (Witness, error) {
+	if f < 2 || e < 2 || e > f {
+		return Witness{}, fmt.Errorf("lowerbound: object construction needs f ≥ 2 and 2 ≤ e ≤ f, got f=%d e=%d", f, e)
+	}
+	if n < 2*e+f-2 {
+		return Witness{}, fmt.Errorf("lowerbound: object construction needs n ≥ 2e+f−2 = %d, got %d", 2*e+f-2, n)
+	}
+	a := n - e - f + 1 // |E₀*|
+	b := n - f - a     // |E₁*|
+	if a < 1 || b < 1 {
+		return Witness{}, fmt.Errorf("lowerbound: degenerate partition a=%d b=%d for n=%d f=%d e=%d", a, b, n, f, e)
+	}
+
+	lo, hi := consensus.IntValue(1), consensus.IntValue(2)
+	p := consensus.ProcessID(f - 2)
+	q := consensus.ProcessID(f - 1)
+	side1 := func(x consensus.ProcessID) bool { return x == q || int(x) >= f+a }
+
+	inputs := map[consensus.ProcessID]consensus.Value{p: lo, q: hi}
+
+	crashAt2D := []consensus.ProcessID{q}
+	for i := 0; i < f-2; i++ {
+		crashAt2D = append(crashAt2D, consensus.ProcessID(i))
+	}
+
+	c := construction{
+		n: n, f: f, e: e,
+		delta:  delta,
+		mode:   quorum.Object,
+		bound:  quorum.ObjectMinProcesses(f, e),
+		inputs: inputs,
+		blocked: func(from, to consensus.ProcessID) bool {
+			return side1(from) != side1(to)
+		},
+		prefer: func(to consensus.ProcessID) consensus.ProcessID {
+			if side1(to) {
+				return q
+			}
+			return p
+		},
+		crashAt2D:   crashAt2D,
+		fastDecider: p,
+	}
+	return c.execute(fac)
+}

@@ -1,0 +1,143 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+// TaskVariant selects which flavour of the §B.1 construction to execute.
+type TaskVariant int
+
+const (
+	// TaskStandard is the proof's construction: the side that fast-decides
+	// proposes the greater value. Forces a violation at n = 2e+f−1
+	// against the paper's protocol; harmless at n = 2e+f.
+	TaskStandard TaskVariant = iota + 1
+	// TaskLowFast makes the fast-deciding side propose the *smaller*
+	// value. The paper's value-ordered fast path refuses to fast-decide
+	// in this schedule (the bridge processes reject the lower proposal),
+	// but unordered fast paths (Fast Paxos below Lamport's bound, or the
+	// ValueOrdering ablation) fast-decide the low value and the recovery
+	// tie-break then betrays them at n = 2e+f.
+	TaskLowFast
+	// TaskInsiderProposer plants two co-proposers of a high competing
+	// value inside the surviving quorum. The proposer-exclusion set R
+	// discards their votes during recovery; the ExcludeProposers
+	// ablation counts them and violates agreement at n = 2e+f.
+	// Requires e ≥ 2.
+	TaskInsiderProposer
+)
+
+// String implements fmt.Stringer.
+func (v TaskVariant) String() string {
+	switch v {
+	case TaskStandard:
+		return "standard"
+	case TaskLowFast:
+		return "low-fast"
+	case TaskInsiderProposer:
+		return "insider-proposer"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// TaskWitness executes the §B.1 construction (standard variant, realized as
+// one spliced run) against a consensus-task protocol on n processes.
+//
+// The process space is partitioned as
+//
+//	F₀ = {0, …, f−2}            bridge: proposes lo, votes hi, crashes at 2Δ
+//	E₁ = {f−1, …, n−e−1}        proposes hi; p = min(E₁) fast-decides hi
+//	B  = {n−e, …, n−1}          proposes lo; votes for p′ (min F₀, or min B
+//	                            when f = 1) without ever seeing E₁
+//
+// Cross-partition traffic sent before 2Δ is delayed (B cannot tell that E₁
+// exists, and vice versa). p gathers ballot-0 votes from F₀ ∪ E₁∖{p} — that
+// is n−e−1 processes — and decides hi at 2Δ; it is silenced in the same
+// instant and crashes, together with all of F₀ (crash budget f). The n−f
+// survivors E₁∖{p} ∪ B then recover. At n = 2e+f−1 (one below Theorem 5's
+// bound) the B-side votes for lo outnumber the threshold n−f−e and recovery
+// proposes lo ≠ hi: an agreement violation. At n = 2e+f the arithmetic
+// flips and recovery re-selects hi.
+func TaskWitness(fac runner.Factory, n, f, e int, delta consensus.Duration) (Witness, error) {
+	return TaskWitnessVariant(fac, n, f, e, delta, TaskStandard)
+}
+
+// TaskWitnessVariant executes the chosen variant of the §B.1 construction.
+func TaskWitnessVariant(fac runner.Factory, n, f, e int, delta consensus.Duration, variant TaskVariant) (Witness, error) {
+	if f < 1 || e < 1 || e > f {
+		return Witness{}, fmt.Errorf("lowerbound: need 1 ≤ e ≤ f, got f=%d e=%d", f, e)
+	}
+	if n < 2*e+f-1 {
+		return Witness{}, fmt.Errorf("lowerbound: task construction needs n ≥ 2e+f−1 = %d, got %d", 2*e+f-1, n)
+	}
+	if n-e < f {
+		return Witness{}, fmt.Errorf("lowerbound: side A (n−e=%d) cannot hold F₀ and p (need ≥ %d)", n-e, f)
+	}
+	if variant == TaskInsiderProposer && e < 2 {
+		return Witness{}, fmt.Errorf("lowerbound: insider-proposer variant needs e ≥ 2, got %d", e)
+	}
+
+	inE1 := func(p consensus.ProcessID) bool { return int(p) >= f-1 && int(p) < n-e }
+	inB := func(p consensus.ProcessID) bool { return int(p) >= n-e }
+	pFast := consensus.ProcessID(f - 1)  // min(E₁)
+	bFirst := consensus.ProcessID(n - e) // min(B)
+	pPrime := consensus.ProcessID(0)     // min(F₀), B's preferred proposer
+	if f == 1 || variant == TaskInsiderProposer {
+		pPrime = bFirst
+	}
+
+	// Value assignment per variant.
+	sideAValue, sideBValue := consensus.IntValue(2), consensus.IntValue(1)
+	if variant == TaskLowFast {
+		sideAValue, sideBValue = consensus.IntValue(1), consensus.IntValue(2)
+	}
+	insider := consensus.IntValue(3)
+
+	inputs := make(map[consensus.ProcessID]consensus.Value, n)
+	for i := 0; i < n; i++ {
+		p := consensus.ProcessID(i)
+		switch {
+		case inE1(p):
+			inputs[p] = sideAValue
+		case variant == TaskInsiderProposer && inB(p) && int(p) < n-e+2:
+			// z = min(B) and its neighbour co-propose the insider
+			// value, so that both proposers survive inside the
+			// recovery quorum while their value still collects a
+			// full side of votes.
+			inputs[p] = insider
+		default:
+			inputs[p] = sideBValue
+		}
+	}
+
+	var crashAt2D []consensus.ProcessID
+	for i := 0; i < f-1; i++ {
+		crashAt2D = append(crashAt2D, consensus.ProcessID(i))
+	}
+
+	c := construction{
+		n: n, f: f, e: e,
+		delta:  delta,
+		mode:   quorum.Task,
+		bound:  quorum.TaskMinProcesses(f, e),
+		inputs: inputs,
+		blocked: func(from, to consensus.ProcessID) bool {
+			// B must not see side A's E₁; side A must not see B.
+			return (inB(from) && !inB(to)) || (inE1(from) && inB(to))
+		},
+		prefer: func(to consensus.ProcessID) consensus.ProcessID {
+			if inB(to) {
+				return pPrime
+			}
+			return pFast
+		},
+		crashAt2D:   crashAt2D,
+		fastDecider: pFast,
+	}
+	return c.execute(fac)
+}

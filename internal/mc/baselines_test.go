@@ -1,0 +1,62 @@
+package mc_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/epaxos"
+	"repro/internal/fastpaxos"
+	"repro/internal/mc"
+	"repro/internal/paxos"
+)
+
+// TestFastPaxosExhaustiveAtLamportBound explores Fast Paxos's fast ballot
+// at its own bound n=4 (f=1, e=1): no delivery order may break agreement.
+func TestFastPaxosExhaustiveAtLamportBound(t *testing.T) {
+	fac := func(cfg consensus.Config) consensus.Protocol {
+		return fastpaxos.NewUnchecked(cfg, consensus.FixedLeader(0))
+	}
+	res := requireSafe(t, fac, mc.Options{
+		N: 4, F: 1, E: 1,
+		Inputs:    inputs(1, 2, 0, 0),
+		MaxStates: 400_000,
+		MaxDepth:  44,
+	}, false)
+	if res.States < 1000 {
+		t.Fatalf("small exploration: %+v", res)
+	}
+}
+
+// TestPaxosExhaustive explores classic Paxos with the pre-promised ballot
+// 0 and one timer firing per process (leader changes at any point).
+func TestPaxosExhaustive(t *testing.T) {
+	fac := func(cfg consensus.Config) consensus.Protocol {
+		return paxos.NewUnchecked(cfg, consensus.FixedLeader(0))
+	}
+	requireSafe(t, fac, mc.Options{
+		N: 3, F: 1, E: 0,
+		Inputs:          inputs(5, 3, 0),
+		TicksPerProcess: 1,
+		MaxStates:       60_000,
+		MaxDepth:        32,
+	}, false)
+}
+
+// TestEPaxosExhaustive explores the single-owner EPaxos instance: the
+// owner's fast path interleaved with recovery attempts by other processes.
+func TestEPaxosExhaustive(t *testing.T) {
+	owner := consensus.ProcessID(0)
+	fac := func(cfg consensus.Config) consensus.Protocol {
+		return epaxos.NewUnchecked(cfg, owner, consensus.FixedLeader(1))
+	}
+	requireSafe(t, fac, mc.Options{
+		N: 3, F: 1, E: 1,
+		Inputs:          inputs(7),
+		TicksPerProcess: 1,
+		MaxStates:       100_000,
+		MaxDepth:        36,
+		// Recovery may close the instance with Noop when it can prove
+		// no fast commit happened — exempt from Validity by design.
+		AllowedExtra: []consensus.Value{epaxos.Noop},
+	}, false)
+}

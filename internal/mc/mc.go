@@ -1,0 +1,411 @@
+// Package mc is a bounded, exhaustive model checker for the protocol state
+// machines: it explores EVERY interleaving of message deliveries, timer
+// firings and (optionally) crashes for a small configuration, checking
+// Agreement and Validity in each reachable state. Where the simulator and
+// the soak runner sample schedules, the checker enumerates them — for tiny
+// systems this gives proof-grade assurance that the implementation's fast
+// and slow paths cannot be driven into a safety violation.
+//
+// Model:
+//
+//   - The adversary repeatedly picks one enabled action: deliver any
+//     in-flight message, fire any process's armed timer (timers may fire
+//     arbitrarily early — safety must never depend on timing), or crash a
+//     process while crash budget remains (a crashed process takes no more
+//     steps; its in-flight messages are discarded).
+//   - Protocols are deterministic, so a state is fully described by the
+//     action sequence; states are reconstructed by replay and deduplicated
+//     by a canonical key (per-process state dumps plus the multiset of
+//     in-flight messages).
+//   - Exploration is breadth-first up to MaxDepth actions and MaxStates
+//     distinct states; hitting either bound reports Truncated rather than
+//     silently passing.
+//
+// The per-process state dump comes from the StateDumper interface; protocols
+// that do not implement it can still be checked, but without deduplication
+// the bounds are reached much sooner.
+package mc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/consensus"
+)
+
+// StateDumper exposes a canonical, deterministic dump of a protocol
+// instance's full state (volatile parts included) for deduplication.
+type StateDumper interface {
+	DumpState() string
+}
+
+// Factory builds the protocol under test for one process.
+type Factory func(cfg consensus.Config) consensus.Protocol
+
+// Options bounds the exploration.
+type Options struct {
+	// N, F, E configure the system; Inputs are the proposals submitted at
+	// time zero (processes absent from Inputs propose nothing).
+	N, F, E int
+	Inputs  map[consensus.ProcessID]consensus.Value
+
+	// TicksPerProcess bounds how many times each process's armed timers
+	// may fire (0 disables timers — fast path only).
+	TicksPerProcess int
+	// AllowedExtra lists values exempt from the Validity check beyond the
+	// inputs — e.g. epaxos.Noop, which recovery may legitimately commit.
+	AllowedExtra []consensus.Value
+	// Crashes bounds how many processes the adversary may crash.
+	Crashes int
+	// MaxStates bounds distinct states explored (default 2_000_000).
+	MaxStates int
+	// MaxDepth bounds the action-sequence length (default 64).
+	MaxDepth int
+}
+
+// Result reports the exploration outcome.
+type Result struct {
+	// States is the number of distinct states explored.
+	States int
+	// Deepest is the longest action sequence reached.
+	Deepest int
+	// Truncated reports whether a bound stopped the exploration before
+	// exhausting the state space.
+	Truncated bool
+	// Violation is non-nil if a safety violation was found; it carries a
+	// replayable action trace.
+	Violation *Violation
+	// DecidedStates counts states in which at least one process decided.
+	DecidedStates int
+}
+
+// Violation describes a found safety violation.
+type Violation struct {
+	Description string
+	Trace       []Action
+}
+
+// String implements fmt.Stringer.
+func (v *Violation) String() string {
+	steps := make([]string, len(v.Trace))
+	for i, a := range v.Trace {
+		steps[i] = a.String()
+	}
+	return fmt.Sprintf("%s after [%s]", v.Description, strings.Join(steps, " "))
+}
+
+// actionKind tags adversary choices.
+type actionKind int
+
+const (
+	actDeliver actionKind = iota + 1
+	actTick
+	actCrash
+)
+
+// Action is one adversary choice.
+type Action struct {
+	kind  actionKind
+	msgIx int                 // actDeliver: index into the canonical pending list
+	p     consensus.ProcessID // actTick / actCrash
+	timer consensus.TimerID   // actTick
+}
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a.kind {
+	case actDeliver:
+		return fmt.Sprintf("deliver#%d", a.msgIx)
+	case actTick:
+		return fmt.Sprintf("tick(%s,%s)", a.p, a.timer)
+	case actCrash:
+		return fmt.Sprintf("crash(%s)", a.p)
+	default:
+		return "?"
+	}
+}
+
+// flight is one in-flight message.
+type flight struct {
+	from, to consensus.ProcessID
+	msg      consensus.Message
+	key      string // canonical encoding for dedup and stable ordering
+}
+
+// world is a fully materialized state, reconstructed by replay.
+type world struct {
+	nodes   []consensus.Protocol
+	alive   []bool
+	pending []flight
+	armed   []map[consensus.TimerID]bool
+	ticks   []int // remaining tick budget per process
+	crashes int   // remaining crash budget
+}
+
+// Check explores the model and returns the result.
+func Check(fac Factory, opts Options) (Result, error) {
+	if opts.N < 1 {
+		return Result{}, fmt.Errorf("mc: n=%d", opts.N)
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 2_000_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 64
+	}
+
+	res := Result{}
+	// Visited states are deduplicated by a 64-bit FNV hash of the
+	// canonical key. A hash collision could in principle hide a state;
+	// over the bounded state counts explored here the probability is
+	// below 1e-6, and the trade keeps memory flat where full keys would
+	// need gigabytes.
+	visited := make(map[uint64]struct{}, 1<<16)
+	// Depth-first exploration: the stack stays O(branching × depth)
+	// entries, where a breadth-first frontier grows with the state count.
+	stack := [][]Action{{}}
+
+	for len(stack) > 0 {
+		trace := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		w, err := replay(fac, opts, trace)
+		if err != nil {
+			return res, err
+		}
+		key := hashKey(w.canonicalKey())
+		if _, seen := visited[key]; seen {
+			continue
+		}
+		visited[key] = struct{}{}
+		res.States++
+		if len(trace) > res.Deepest {
+			res.Deepest = len(trace)
+		}
+
+		// Safety check.
+		if desc, bad := w.checkSafety(opts); bad {
+			res.Violation = &Violation{Description: desc, Trace: trace}
+			return res, nil
+		}
+		if w.anyDecided() {
+			res.DecidedStates++
+		}
+
+		if res.States >= opts.MaxStates || len(trace) >= opts.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+
+		// Enumerate successor actions. Identical pending messages are
+		// collapsed: delivering either copy leads to the same state.
+		seenMsg := make(map[string]struct{}, len(w.pending))
+		for i, fl := range w.pending {
+			if !w.alive[fl.to] {
+				continue
+			}
+			if _, dup := seenMsg[fl.key]; dup {
+				continue
+			}
+			seenMsg[fl.key] = struct{}{}
+			stack = append(stack, appendAction(trace, Action{kind: actDeliver, msgIx: i}))
+		}
+		for p := 0; p < opts.N; p++ {
+			if !w.alive[p] || w.ticks[p] <= 0 {
+				continue
+			}
+			timers := make([]string, 0, len(w.armed[p]))
+			for t := range w.armed[p] {
+				timers = append(timers, string(t))
+			}
+			sort.Strings(timers)
+			for _, t := range timers {
+				stack = append(stack, appendAction(trace, Action{
+					kind: actTick, p: consensus.ProcessID(p), timer: consensus.TimerID(t),
+				}))
+			}
+		}
+		if w.crashes > 0 {
+			for p := 0; p < opts.N; p++ {
+				if w.alive[p] {
+					stack = append(stack, appendAction(trace, Action{
+						kind: actCrash, p: consensus.ProcessID(p),
+					}))
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func appendAction(trace []Action, a Action) []Action {
+	out := make([]Action, len(trace)+1)
+	copy(out, trace)
+	out[len(trace)] = a
+	return out
+}
+
+// replay reconstructs the world after the action sequence.
+func replay(fac Factory, opts Options, trace []Action) (*world, error) {
+	w := &world{
+		nodes:   make([]consensus.Protocol, opts.N),
+		alive:   make([]bool, opts.N),
+		armed:   make([]map[consensus.TimerID]bool, opts.N),
+		ticks:   make([]int, opts.N),
+		crashes: opts.Crashes,
+	}
+	for i := 0; i < opts.N; i++ {
+		cfg := consensus.Config{ID: consensus.ProcessID(i), N: opts.N, F: opts.F, E: opts.E, Delta: 10}
+		w.nodes[i] = fac(cfg)
+		w.alive[i] = true
+		w.armed[i] = make(map[consensus.TimerID]bool)
+		w.ticks[i] = opts.TicksPerProcess
+	}
+	// Boot: Start then the configured proposals, in process order.
+	for i := 0; i < opts.N; i++ {
+		w.apply(consensus.ProcessID(i), w.nodes[i].Start())
+	}
+	for i := 0; i < opts.N; i++ {
+		p := consensus.ProcessID(i)
+		if v, ok := opts.Inputs[p]; ok {
+			w.apply(p, w.nodes[p].Propose(v))
+		}
+	}
+	for step, a := range trace {
+		switch a.kind {
+		case actDeliver:
+			if a.msgIx >= len(w.pending) {
+				return nil, fmt.Errorf("mc: replay step %d: message index %d out of range", step, a.msgIx)
+			}
+			fl := w.pending[a.msgIx]
+			w.pending = append(w.pending[:a.msgIx], w.pending[a.msgIx+1:]...)
+			if w.alive[fl.to] {
+				w.apply(fl.to, w.nodes[fl.to].Deliver(fl.from, fl.msg))
+			}
+		case actTick:
+			if w.alive[a.p] && w.armed[a.p][a.timer] && w.ticks[a.p] > 0 {
+				w.ticks[a.p]--
+				delete(w.armed[a.p], a.timer)
+				w.apply(a.p, w.nodes[a.p].Tick(a.timer))
+			}
+		case actCrash:
+			if w.alive[a.p] && w.crashes > 0 {
+				w.crashes--
+				w.alive[a.p] = false
+				// Discard traffic to and from the crashed process.
+				kept := w.pending[:0]
+				for _, fl := range w.pending {
+					if fl.to != a.p {
+						kept = append(kept, fl)
+					}
+				}
+				w.pending = kept
+			}
+		}
+	}
+	return w, nil
+}
+
+// apply interprets one step's effects at process p.
+func (w *world) apply(p consensus.ProcessID, effects []consensus.Effect) {
+	for _, eff := range effects {
+		switch eff := eff.(type) {
+		case consensus.Send:
+			w.push(p, eff.To, eff.Msg)
+		case consensus.Broadcast:
+			for i := range w.nodes {
+				to := consensus.ProcessID(i)
+				if to == p && !eff.Self {
+					continue
+				}
+				w.push(p, to, eff.Msg)
+			}
+		case consensus.StartTimer:
+			w.armed[p][eff.Timer] = true
+		case consensus.StopTimer:
+			delete(w.armed[p], eff.Timer)
+		case consensus.Decide:
+			// Decisions are read back via the Decision() method.
+		}
+	}
+}
+
+func (w *world) push(from, to consensus.ProcessID, msg consensus.Message) {
+	w.pending = append(w.pending, flight{
+		from: from,
+		to:   to,
+		msg:  msg,
+		key:  fmt.Sprintf("%d>%d:%s:%+v", from, to, msg.Kind(), msg),
+	})
+}
+
+// canonicalKey is the dedup key: per-process dumps plus the sorted pending
+// multiset plus budgets.
+func (w *world) canonicalKey() string {
+	var b strings.Builder
+	for i, node := range w.nodes {
+		fmt.Fprintf(&b, "p%d[alive=%v,ticks=%d]:", i, w.alive[i], w.ticks[i])
+		if d, ok := node.(StateDumper); ok {
+			b.WriteString(d.DumpState())
+		} else {
+			fmt.Fprintf(&b, "%+v", node)
+		}
+		timers := make([]string, 0, len(w.armed[i]))
+		for t := range w.armed[i] {
+			timers = append(timers, string(t))
+		}
+		sort.Strings(timers)
+		fmt.Fprintf(&b, "|timers=%v;", timers)
+	}
+	msgs := make([]string, len(w.pending))
+	for i, fl := range w.pending {
+		msgs[i] = fl.key
+	}
+	sort.Strings(msgs)
+	fmt.Fprintf(&b, "pending=%v;crashes=%d", msgs, w.crashes)
+	return b.String()
+}
+
+func (w *world) anyDecided() bool {
+	for _, n := range w.nodes {
+		if _, ok := n.Decision(); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSafety verifies Agreement and Validity over the current decisions.
+func (w *world) checkSafety(opts Options) (string, bool) {
+	proposed := make(map[consensus.Value]struct{}, len(opts.Inputs)+len(opts.AllowedExtra))
+	for _, v := range opts.Inputs {
+		proposed[v] = struct{}{}
+	}
+	for _, v := range opts.AllowedExtra {
+		proposed[v] = struct{}{}
+	}
+	first := consensus.None
+	for i, n := range w.nodes {
+		v, ok := n.Decision()
+		if !ok {
+			continue
+		}
+		if _, valid := proposed[v]; !valid {
+			return fmt.Sprintf("validity: p%d decided unproposed %s", i, v), true
+		}
+		if first.IsNone() {
+			first = v
+		} else if v != first {
+			return fmt.Sprintf("agreement: decisions %s and %s coexist", first, v), true
+		}
+	}
+	return "", false
+}

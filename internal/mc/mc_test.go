@@ -1,0 +1,136 @@
+package mc_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+func coreFactory(mode core.Mode) mc.Factory {
+	return func(cfg consensus.Config) consensus.Protocol {
+		return core.NewUnchecked(cfg, mode, core.DefaultOptions(), consensus.FixedLeader(0))
+	}
+}
+
+func inputs(vals ...int64) map[consensus.ProcessID]consensus.Value {
+	m := make(map[consensus.ProcessID]consensus.Value, len(vals))
+	for i, v := range vals {
+		if v != 0 {
+			m[consensus.ProcessID(i)] = consensus.IntValue(v)
+		}
+	}
+	return m
+}
+
+// requireSafe runs the checker and fails on violations or (unexpectedly)
+// empty exploration. Truncation is reported, not failed: a truncated clean
+// run is still strong evidence, and the test asserts non-truncation only
+// where the space is known to be small.
+func requireSafe(t *testing.T, fac mc.Factory, opts mc.Options, wantComplete bool) mc.Result {
+	t.Helper()
+	res, err := mc.Check(fac, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("safety violation found: %s", res.Violation)
+	}
+	if res.States < 2 {
+		t.Fatalf("suspiciously small exploration: %+v", res)
+	}
+	if wantComplete && res.Truncated {
+		t.Fatalf("exploration truncated (%d states, depth %d)", res.States, res.Deepest)
+	}
+	if res.DecidedStates == 0 {
+		t.Fatalf("no decided states reached: %+v", res)
+	}
+	t.Logf("states=%d deepest=%d decided=%d truncated=%v",
+		res.States, res.Deepest, res.DecidedStates, res.Truncated)
+	return res
+}
+
+// TestFastPathExhaustiveTask explores ALL fast-ballot interleavings of the
+// task protocol at the tight bound n=3 (f=1, e=1): every delivery order of
+// proposals, votes, and decide announcements, with no timers.
+func TestFastPathExhaustiveTask(t *testing.T) {
+	requireSafe(t, coreFactory(core.ModeTask), mc.Options{
+		N: 3, F: 1, E: 1,
+		Inputs: inputs(1, 2, 2),
+	}, true)
+}
+
+func TestFastPathExhaustiveTaskDistinct(t *testing.T) {
+	requireSafe(t, coreFactory(core.ModeTask), mc.Options{
+		N: 3, F: 1, E: 1,
+		Inputs: inputs(3, 1, 2),
+	}, true)
+}
+
+// TestFastPathExhaustiveObject explores the object protocol with two
+// concurrent proposers and one silent process.
+func TestFastPathExhaustiveObject(t *testing.T) {
+	requireSafe(t, coreFactory(core.ModeObject), mc.Options{
+		N: 3, F: 1, E: 1,
+		Inputs: inputs(2, 1, 0),
+	}, true)
+}
+
+// TestFastPlusSlowBallotExhaustive adds one timer firing per process: the
+// adversary can start slow ballots at any point, in any interleaving with
+// the fast ballot — the recovery rule must never contradict a fast decision.
+func TestFastPlusSlowBallotExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("state space in the hundreds of thousands")
+	}
+	res := requireSafe(t, coreFactory(core.ModeTask), mc.Options{
+		N: 3, F: 1, E: 1,
+		Inputs:          inputs(1, 2, 2),
+		TicksPerProcess: 1,
+		MaxStates:       120_000,
+		MaxDepth:        40,
+	}, false)
+	if res.States < 10_000 {
+		t.Fatalf("expected a large exploration, got %d states", res.States)
+	}
+}
+
+// TestCrashesExhaustive lets the adversary crash one process at any point.
+func TestCrashesExhaustive(t *testing.T) {
+	requireSafe(t, coreFactory(core.ModeTask), mc.Options{
+		N: 3, F: 1, E: 1,
+		Inputs:  inputs(1, 2, 2),
+		Crashes: 1,
+	}, true)
+}
+
+// TestCheckerDetectsSeededViolation proves the checker can actually find
+// bugs: a deliberately broken protocol (fast quorum one too small) must
+// produce an agreement violation.
+func TestCheckerDetectsSeededViolation(t *testing.T) {
+	fac := func(cfg consensus.Config) consensus.Protocol {
+		// e = 2 on 4 processes with f = 1: fast quorum n−e = 2, so one
+		// external vote suffices — and n = 4 is below the tight bound
+		// max{2e+f, 2f+1} = 5, so two disjoint "fast quorums" for
+		// different values can coexist.
+		return core.NewUnchecked(cfg, core.ModeTask, core.DefaultOptions(), consensus.FixedLeader(0))
+	}
+	// p1 proposes 2 (p0 can vote for it), p2 proposes 3 (p3 can vote for
+	// it): {p0,p1} and {p2,p3} are disjoint fast quorums.
+	// A violating run needs only ~8 actions; the shallow depth bound keeps
+	// the depth-first search from diving into long innocent schedules.
+	res, err := mc.Check(fac, mc.Options{
+		N: 4, F: 1, E: 2,
+		Inputs:    inputs(1, 2, 3, 0),
+		MaxStates: 300_000,
+		MaxDepth:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("checker missed the seeded violation (%d states)", res.States)
+	}
+	t.Logf("found: %s", res.Violation)
+}

@@ -1,0 +1,153 @@
+package node_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/node"
+	"repro/internal/transport"
+)
+
+// probe is a minimal protocol exercising host timer and decision plumbing.
+type probe struct {
+	id      consensus.ProcessID
+	ticks   chan consensus.TimerID
+	decided consensus.Value
+}
+
+func newProbe(id consensus.ProcessID) *probe {
+	return &probe{id: id, ticks: make(chan consensus.TimerID, 16), decided: consensus.None}
+}
+
+func (p *probe) ID() consensus.ProcessID { return p.id }
+func (p *probe) Start() []consensus.Effect {
+	return []consensus.Effect{
+		consensus.StartTimer{Timer: "probe.a", After: 1},
+		consensus.StartTimer{Timer: "probe.b", After: 1},
+		consensus.StopTimer{Timer: "probe.b"}, // must never fire
+	}
+}
+func (p *probe) Propose(v consensus.Value) []consensus.Effect {
+	p.decided = v
+	return []consensus.Effect{consensus.Decide{Value: v}}
+}
+func (p *probe) Deliver(consensus.ProcessID, consensus.Message) []consensus.Effect { return nil }
+func (p *probe) Tick(t consensus.TimerID) []consensus.Effect {
+	select {
+	case p.ticks <- t:
+	default:
+	}
+	return nil
+}
+func (p *probe) Decision() (consensus.Value, bool) {
+	return p.decided, !p.decided.IsNone()
+}
+
+func TestHostTimerStartAndStop(t *testing.T) {
+	mesh := transport.NewMesh(1)
+	defer mesh.Close()
+	pr := newProbe(0)
+	host := node.New(1, nil, time.Millisecond, pr)
+	tr, err := mesh.Endpoint(0, host.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.BindTransport(tr)
+	defer host.Close()
+	host.Start()
+
+	select {
+	case got := <-pr.ticks:
+		if got != "probe.a" {
+			t.Fatalf("first tick = %s, want probe.a", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("armed timer never fired")
+	}
+	// The stopped timer must stay silent.
+	select {
+	case got := <-pr.ticks:
+		t.Fatalf("stopped timer fired: %s", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestHostWaitDecisionAlreadyDecided(t *testing.T) {
+	mesh := transport.NewMesh(1)
+	defer mesh.Close()
+	pr := newProbe(0)
+	host := node.New(1, nil, time.Millisecond, pr)
+	tr, err := mesh.Endpoint(0, host.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.BindTransport(tr)
+	defer host.Close()
+	host.Start()
+	host.Propose(consensus.IntValue(9))
+
+	if v, ok := host.Decision(); !ok || v != consensus.IntValue(9) {
+		t.Fatalf("Decision = %v %v", v, ok)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	v, err := host.WaitDecision(ctx)
+	if err != nil || v != consensus.IntValue(9) {
+		t.Fatalf("WaitDecision = %v, %v", v, err)
+	}
+}
+
+func TestHostWaitDecisionContextCancel(t *testing.T) {
+	mesh := transport.NewMesh(1)
+	defer mesh.Close()
+	pr := newProbe(0)
+	host := node.New(1, nil, time.Millisecond, pr)
+	tr, err := mesh.Endpoint(0, host.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.BindTransport(tr)
+	defer host.Close()
+	host.Start()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := host.WaitDecision(ctx); err == nil {
+		t.Fatal("WaitDecision returned without a decision")
+	}
+}
+
+func TestHostCloseReleasesWaiters(t *testing.T) {
+	mesh := transport.NewMesh(1)
+	defer mesh.Close()
+	pr := newProbe(0)
+	host := node.New(1, nil, time.Millisecond, pr)
+	tr, err := mesh.Endpoint(0, host.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.BindTransport(tr)
+	host.Start()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := host.WaitDecision(context.Background())
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	host.Close()
+	select {
+	case <-done:
+		// Released (either a zero value from the closed channel or an
+		// error — what matters is it does not hang).
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter leaked across Close")
+	}
+	// Operations after Close are inert.
+	host.Propose(consensus.IntValue(1))
+	if err := host.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package node hosts deterministic protocol state machines on a real
+// transport with wall-clock timers — the live-deployment counterpart of the
+// simulator. A Host runs one or more protocols (typically an Ω detector and
+// a consensus protocol) behind a single mutex, translating protocol ticks
+// to wall time and protocol effects to transport sends.
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/transport"
+)
+
+// ErrClosed is returned by operations on a closed Host.
+var ErrClosed = errors.New("node: host closed")
+
+// Host binds protocols to a transport.
+type Host struct {
+	n    int
+	self consensus.ProcessID
+	tr   transport.Transport
+	tick time.Duration // wall-clock length of one protocol tick
+
+	mu      sync.Mutex
+	protos  []consensus.Protocol
+	gens    map[consensus.TimerID]int64
+	timers  map[consensus.TimerID]*time.Timer
+	decided consensus.Value
+	waiters []chan consensus.Value
+	closed  bool
+}
+
+// New builds a host for n processes with the given tick length. The
+// protocols run in order for every event; distinct protocols must use
+// distinct timer IDs and message kinds (all registered kinds do). tr may be
+// nil at construction when the transport needs the host's Handle method
+// first — call BindTransport before Start in that case.
+func New(n int, tr transport.Transport, tick time.Duration, protos ...consensus.Protocol) *Host {
+	h := &Host{
+		n:       n,
+		tr:      tr,
+		tick:    tick,
+		protos:  protos,
+		gens:    make(map[consensus.TimerID]int64),
+		timers:  make(map[consensus.TimerID]*time.Timer),
+		decided: consensus.None,
+	}
+	if tr != nil {
+		h.self = tr.Self()
+	}
+	return h
+}
+
+// Handle is the transport handler; wire it when constructing the transport:
+//
+//	host := node.New(...)
+//	tr, err := transport.NewTCP(self, addrs, codec, host.Handle)
+//	host.BindTransport(tr)
+func (h *Host) Handle(from consensus.ProcessID, msg consensus.Message) {
+	h.mu.Lock()
+	outbound := h.deliverLocked(from, msg)
+	h.mu.Unlock()
+	h.flush(outbound)
+}
+
+// BindTransport installs the transport after construction, for the
+// chicken-and-egg case where the transport needs the host's handler.
+func (h *Host) BindTransport(tr transport.Transport) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tr = tr
+	h.self = tr.Self()
+}
+
+// Start boots every protocol.
+func (h *Host) Start() {
+	h.mu.Lock()
+	var outbound []outboundMsg
+	for _, p := range h.protos {
+		outbound = append(outbound, h.applyLocked(p, p.Start())...)
+	}
+	h.mu.Unlock()
+	h.flush(outbound)
+}
+
+// Propose submits v to every hosted protocol (non-consensus protocols
+// ignore it).
+func (h *Host) Propose(v consensus.Value) {
+	h.mu.Lock()
+	var outbound []outboundMsg
+	for _, p := range h.protos {
+		outbound = append(outbound, h.applyLocked(p, p.Propose(v))...)
+	}
+	h.mu.Unlock()
+	h.flush(outbound)
+}
+
+// Decision returns the decided value, if any.
+func (h *Host) Decision() (consensus.Value, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.decided.IsNone() {
+		return consensus.None, false
+	}
+	return h.decided, true
+}
+
+// WaitDecision blocks until a decision is reached or ctx is done.
+func (h *Host) WaitDecision(ctx context.Context) (consensus.Value, error) {
+	h.mu.Lock()
+	if !h.decided.IsNone() {
+		v := h.decided
+		h.mu.Unlock()
+		return v, nil
+	}
+	if h.closed {
+		h.mu.Unlock()
+		return consensus.None, ErrClosed
+	}
+	ch := make(chan consensus.Value, 1)
+	h.waiters = append(h.waiters, ch)
+	h.mu.Unlock()
+
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return consensus.None, fmt.Errorf("node: %w", ctx.Err())
+	}
+}
+
+// Close stops timers and closes the transport.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	for _, t := range h.timers {
+		t.Stop()
+	}
+	for _, ch := range h.waiters {
+		close(ch)
+	}
+	h.waiters = nil
+	h.mu.Unlock()
+	return h.tr.Close()
+}
+
+// outboundMsg is a send deferred until the host lock is released (transport
+// sends may block on dialing).
+type outboundMsg struct {
+	to  consensus.ProcessID
+	msg consensus.Message
+}
+
+// deliverLocked routes one message through every protocol.
+func (h *Host) deliverLocked(from consensus.ProcessID, msg consensus.Message) []outboundMsg {
+	if h.closed {
+		return nil
+	}
+	var outbound []outboundMsg
+	for _, p := range h.protos {
+		outbound = append(outbound, h.applyLocked(p, p.Deliver(from, msg))...)
+	}
+	return outbound
+}
+
+// applyLocked interprets effects; network sends are returned for later
+// flushing, local (self-addressed) messages are delivered inline.
+func (h *Host) applyLocked(p consensus.Protocol, effects []consensus.Effect) []outboundMsg {
+	var outbound []outboundMsg
+	for _, eff := range effects {
+		switch eff := eff.(type) {
+		case consensus.Send:
+			if eff.To == h.self {
+				outbound = append(outbound, h.deliverLocked(h.self, eff.Msg)...)
+				continue
+			}
+			outbound = append(outbound, outboundMsg{to: eff.To, msg: eff.Msg})
+		case consensus.Broadcast:
+			for i := 0; i < h.n; i++ {
+				to := consensus.ProcessID(i)
+				if to == h.self {
+					if eff.Self {
+						outbound = append(outbound, h.deliverLocked(h.self, eff.Msg)...)
+					}
+					continue
+				}
+				outbound = append(outbound, outboundMsg{to: to, msg: eff.Msg})
+			}
+		case consensus.StartTimer:
+			h.startTimerLocked(p, eff)
+		case consensus.StopTimer:
+			h.gens[eff.Timer]++
+		case consensus.Decide:
+			if h.decided.IsNone() {
+				h.decided = eff.Value
+				for _, ch := range h.waiters {
+					ch <- eff.Value
+				}
+				h.waiters = nil
+			}
+		}
+	}
+	return outbound
+}
+
+func (h *Host) startTimerLocked(p consensus.Protocol, eff consensus.StartTimer) {
+	h.gens[eff.Timer]++
+	gen := h.gens[eff.Timer]
+	if t, ok := h.timers[eff.Timer]; ok {
+		t.Stop()
+	}
+	d := time.Duration(eff.After) * h.tick
+	h.timers[eff.Timer] = time.AfterFunc(d, func() {
+		h.mu.Lock()
+		if h.closed || h.gens[eff.Timer] != gen {
+			h.mu.Unlock()
+			return
+		}
+		outbound := h.applyLocked(p, p.Tick(eff.Timer))
+		h.mu.Unlock()
+		h.flush(outbound)
+	})
+}
+
+// flush performs the deferred network sends.
+func (h *Host) flush(outbound []outboundMsg) {
+	for _, o := range outbound {
+		// Errors are expected while peers boot or after they crash;
+		// protocol timers retransmit.
+		_ = h.tr.Send(o.to, o.msg)
+	}
+}

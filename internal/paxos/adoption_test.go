@@ -1,0 +1,80 @@
+package paxos_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/paxos"
+)
+
+// TestLeaderChangeAdoptsHighestVote drives the phase-1 value-adoption rule
+// by hand: a new leader collecting promises that carry votes must propose
+// the value of the highest-ballot vote, not its own.
+func TestLeaderChangeAdoptsHighestVote(t *testing.T) {
+	cfg := consensus.Config{ID: 1, N: 5, F: 2, E: 0, Delta: 10}
+	n := paxos.NewUnchecked(cfg, consensus.FixedLeader(1))
+	n.Propose(consensus.IntValue(9)) // own pending value (forwarded to Ω=p1=self)
+
+	// Become leader of ballot 6 (6 ≡ 1 mod 5).
+	effs := n.Tick(paxos.TimerLeader)
+	var ballot consensus.Ballot
+	for _, e := range effs {
+		if b, ok := e.(consensus.Broadcast); ok {
+			if oa, ok := b.Msg.(*paxos.OneA); ok {
+				ballot = oa.Ballot
+			}
+		}
+	}
+	if ballot == 0 {
+		t.Fatalf("no 1A broadcast: %v", effs)
+	}
+
+	// Promises: p2 voted v(4) at ballot 3; others empty.
+	n.Deliver(2, &paxos.OneB{Ballot: ballot, VBal: 3, Val: consensus.IntValue(4)})
+	n.Deliver(3, &paxos.OneB{Ballot: ballot, VBal: -1, Val: consensus.None})
+	effs = n.Deliver(4, &paxos.OneB{Ballot: ballot, VBal: -1, Val: consensus.None})
+
+	adopted := consensus.None
+	for _, e := range effs {
+		if b, ok := e.(consensus.Broadcast); ok {
+			if ta, ok := b.Msg.(*paxos.TwoA); ok {
+				adopted = ta.Value
+			}
+		}
+	}
+	if adopted != consensus.IntValue(4) {
+		t.Fatalf("leader proposed %v, must adopt the prior vote v(4)", adopted)
+	}
+}
+
+// TestLeaderProposesPendingWhenNoVotes verifies the complementary case.
+func TestLeaderProposesPendingWhenNoVotes(t *testing.T) {
+	cfg := consensus.Config{ID: 1, N: 5, F: 2, E: 0, Delta: 10}
+	n := paxos.NewUnchecked(cfg, consensus.FixedLeader(1))
+	n.Deliver(3, &paxos.Forward{Value: consensus.IntValue(7)})
+
+	effs := n.Tick(paxos.TimerLeader)
+	var ballot consensus.Ballot
+	for _, e := range effs {
+		if b, ok := e.(consensus.Broadcast); ok {
+			if oa, ok := b.Msg.(*paxos.OneA); ok {
+				ballot = oa.Ballot
+			}
+		}
+	}
+	empty := &paxos.OneB{Ballot: ballot, VBal: -1, Val: consensus.None}
+	n.Deliver(2, empty)
+	n.Deliver(3, empty)
+	effs = n.Deliver(4, empty)
+	adopted := consensus.None
+	for _, e := range effs {
+		if b, ok := e.(consensus.Broadcast); ok {
+			if ta, ok := b.Msg.(*paxos.TwoA); ok {
+				adopted = ta.Value
+			}
+		}
+	}
+	if adopted != consensus.IntValue(7) {
+		t.Fatalf("leader proposed %v, want forwarded v(7)", adopted)
+	}
+}

@@ -1,0 +1,85 @@
+package paxos_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/paxos"
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+func TestNewEnforcesBound(t *testing.T) {
+	cfg := consensus.Config{ID: 0, N: 4, F: 2, E: 0, Delta: 10}
+	if _, err := paxos.New(cfg, consensus.FixedLeader(0)); !errors.Is(err, quorum.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible for n=4 f=2, got %v", err)
+	}
+	cfg.N = 5
+	if _, err := paxos.New(cfg, consensus.FixedLeader(0)); err != nil {
+		t.Fatalf("New at 2f+1: %v", err)
+	}
+}
+
+func TestLeaderDecidesInTwoDelaysWhenCorrect(t *testing.T) {
+	sc := runner.Scenario{N: 3, F: 1, E: 1, Delta: 10}
+	inputs := map[consensus.ProcessID]consensus.Value{0: consensus.IntValue(7)}
+	tr, err := runner.EFaultySync(protocols.PaxosFactory, sc, runner.SyncRun{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := tr.DecisionOf(0)
+	if !ok || d.At > consensus.Time(2*sc.Delta) {
+		t.Fatalf("leader should decide by 2Δ with a correct leader; got %v ok=%v", d, ok)
+	}
+}
+
+func TestNotETwoStepWhenLeaderCrashes(t *testing.T) {
+	// With the initial leader in the crash set, no process can decide by
+	// 2Δ — Paxos is not e-two-step for e > 0 (§2 of the paper).
+	sc := runner.Scenario{N: 3, F: 1, E: 1, Delta: 10}
+	inputs := map[consensus.ProcessID]consensus.Value{
+		0: consensus.IntValue(1),
+		1: consensus.IntValue(2),
+		2: consensus.IntValue(3),
+	}
+	tr, err := runner.EFaultySync(protocols.PaxosFactory, sc, runner.SyncRun{
+		Faulty: []consensus.ProcessID{0},
+		Inputs: inputs,
+		Prefer: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.TwoStepProcesses(sc.Delta); len(got) != 0 {
+		t.Fatalf("no process should be two-step with the leader crashed; got %v", got)
+	}
+}
+
+func TestRecoversAfterLeaderCrash(t *testing.T) {
+	sc := runner.Scenario{N: 5, F: 2, E: 1, Delta: 10}
+	inputs := make(map[consensus.ProcessID]consensus.Value)
+	for i := 0; i < sc.N; i++ {
+		inputs[consensus.ProcessID(i)] = consensus.IntValue(int64(i + 1))
+	}
+	tr, err := runner.EFaultySync(protocols.PaxosFactory, sc, runner.SyncRun{
+		Faulty:  []consensus.ProcessID{0, 1},
+		Inputs:  inputs,
+		Horizon: consensus.Time(300 * sc.Delta),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckTaskSpec(); err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+}
+
+func TestSoak(t *testing.T) {
+	sc := runner.Scenario{N: 5, F: 2, E: 0, Delta: 10, Seed: 3}
+	res := runner.Soak(protocols.PaxosFactory, sc, runner.SoakOptions{Runs: 60, MaxCrashes: 2})
+	if !res.OK() {
+		t.Fatalf("soak: %s\n%v", res, res.Failures)
+	}
+}

@@ -1,0 +1,37 @@
+package planner_test
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/planner"
+	"repro/internal/quorum"
+)
+
+// Example plans a three-site deployment of the object protocol: the two
+// close sites plus one of the pair's neighbours win, and the co-located
+// proxy commits at the RTT of its second-closest replica (fast quorum
+// n−e = 2).
+func Example() {
+	sites := []string{"paris", "frankfurt", "tokyo"}
+	rtt := [][]consensus.Duration{
+		{0, 15, 250},
+		{15, 0, 240},
+		{250, 240, 0},
+	}
+	plan, err := planner.Solve(planner.Request{
+		Mode:  quorum.Object,
+		F:     1,
+		E:     1,
+		Sites: sites,
+		RTT:   rtt,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("replicas needed: %d\n", plan.N)
+	fmt.Printf("paris proxy commits in %d ms\n", plan.ProxyLatency[0])
+	// Output:
+	// replicas needed: 3
+	// paris proxy commits in 15 ms
+}

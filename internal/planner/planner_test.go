@@ -1,0 +1,123 @@
+package planner_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/planner"
+	"repro/internal/quorum"
+)
+
+// triangle builds a tiny 4-site matrix: a, b, c close together, d far away.
+func triangle() ([]string, [][]consensus.Duration) {
+	sites := []string{"a", "b", "c", "d"}
+	rtt := [][]consensus.Duration{
+		{0, 10, 20, 200},
+		{10, 0, 10, 200},
+		{20, 10, 0, 200},
+		{200, 200, 200, 0},
+	}
+	return sites, rtt
+}
+
+func TestSolvePicksCloseCluster(t *testing.T) {
+	sites, rtt := triangle()
+	plan, err := planner.Solve(planner.Request{
+		Mode:  quorum.Object,
+		F:     1,
+		E:     1,
+		Sites: sites,
+		RTT:   rtt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.N != quorum.ObjectMinProcesses(1, 1) {
+		t.Fatalf("N = %d", plan.N)
+	}
+	// The 3 close sites must be chosen over anything involving d.
+	for _, r := range plan.Replicas {
+		if sites[r] == "d" {
+			t.Fatalf("placement includes the far site: %v", plan.Replicas)
+		}
+	}
+	// Proxy at a co-located site needs the 2nd closest replica (n−e = 2).
+	if got := plan.ProxyLatency[0]; got != 10 {
+		t.Fatalf("proxy a latency = %d, want 10", got)
+	}
+	// Proxy at d pays the distance to the cluster.
+	if got := plan.ProxyLatency[3]; got != 200 {
+		t.Fatalf("proxy d latency = %d, want 200", got)
+	}
+}
+
+func TestSolveObjectiveMax(t *testing.T) {
+	sites, rtt := triangle()
+	req := planner.Request{
+		Mode: quorum.Object, F: 1, E: 1,
+		Sites: sites, RTT: rtt,
+		ProxySites: []int{3}, // only the far region hosts clients
+		Objective:  planner.MinimizeMax,
+	}
+	plan, err := planner.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With clients only at d, a placement containing d wins: the proxy's
+	// closest replica is co-located (0) and the 2nd closest is 200, equal
+	// to the all-close placement... so just assert the objective value is
+	// minimal over placements: 200.
+	if plan.MaxLatency != 200 {
+		t.Fatalf("max latency = %d, want 200", plan.MaxLatency)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	sites, rtt := triangle()
+	if _, err := planner.Solve(planner.Request{Mode: quorum.Object, F: 3, E: 1, Sites: sites, RTT: rtt}); !errors.Is(err, planner.ErrNoPlacement) {
+		t.Fatalf("want ErrNoPlacement, got %v", err)
+	}
+	if _, err := planner.Solve(planner.Request{Mode: quorum.Object, F: 1, E: 2, Sites: sites, RTT: rtt}); err == nil {
+		t.Fatal("accepted e > f")
+	}
+	if _, err := planner.Solve(planner.Request{Mode: quorum.Object, F: 1, E: 1, Sites: sites, RTT: rtt[:2]}); err == nil {
+		t.Fatal("accepted malformed RTT")
+	}
+}
+
+func TestCompareShowsTheHeadline(t *testing.T) {
+	// 7 sites so every formulation fits for f=2, e=2.
+	sites := []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6"}
+	rtt := make([][]consensus.Duration, 7)
+	for i := range rtt {
+		rtt[i] = make([]consensus.Duration, 7)
+		for j := range rtt[i] {
+			if i != j {
+				d := 10 * consensus.Duration(1+abs(i-j))
+				rtt[i][j] = d
+			}
+		}
+	}
+	plans, err := planner.Compare(planner.Request{F: 2, E: 2, Sites: sites, RTT: rtt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, task, lam := plans[quorum.Object], plans[quorum.Task], plans[quorum.Lamport]
+	if !(obj.N < task.N && task.N < lam.N) {
+		t.Fatalf("replica counts not strictly increasing: %d %d %d", obj.N, task.N, lam.N)
+	}
+	// Fewer replicas can never hurt: the object plan's mean latency must
+	// be at most the Lamport plan's (same fast quorum distance order, a
+	// superset of placements effectively).
+	if obj.MeanLatency > lam.MeanLatency {
+		t.Fatalf("object mean %.0f > lamport mean %.0f", obj.MeanLatency, lam.MeanLatency)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,105 @@
+// Package protocols is the registry tying protocol implementations to the
+// scenario runner and the benchmark harness: named factories for the paper's
+// protocol (task and object modes), the ablated variants, and the baselines.
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/epaxos"
+	"repro/internal/fastpaxos"
+	"repro/internal/paxos"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+// Names of the registered protocols.
+const (
+	CoreTask   = "core-task"
+	CoreObject = "core-object"
+	Paxos      = "paxos"
+	FastPaxos  = "fastpaxos"
+)
+
+// CoreTaskFactory builds the paper's task-mode protocol.
+func CoreTaskFactory(cfg consensus.Config, oracle consensus.LeaderOracle) consensus.Protocol {
+	return core.NewUnchecked(cfg, core.ModeTask, core.DefaultOptions(), oracle)
+}
+
+// CoreObjectFactory builds the paper's object-mode protocol.
+func CoreObjectFactory(cfg consensus.Config, oracle consensus.LeaderOracle) consensus.Protocol {
+	return core.NewUnchecked(cfg, core.ModeObject, core.DefaultOptions(), oracle)
+}
+
+// PaxosFactory builds the classic Paxos baseline.
+func PaxosFactory(cfg consensus.Config, oracle consensus.LeaderOracle) consensus.Protocol {
+	return paxos.NewUnchecked(cfg, oracle)
+}
+
+// FastPaxosFactory builds the Fast Paxos baseline.
+func FastPaxosFactory(cfg consensus.Config, oracle consensus.LeaderOracle) consensus.Protocol {
+	return fastpaxos.NewUnchecked(cfg, oracle)
+}
+
+// EPaxosFactory builds the EPaxos-style baseline for an instance owned by
+// owner; only the owner's proposals are registered.
+func EPaxosFactory(owner consensus.ProcessID) runner.Factory {
+	return func(cfg consensus.Config, oracle consensus.LeaderOracle) consensus.Protocol {
+		return epaxos.NewUnchecked(cfg, owner, oracle)
+	}
+}
+
+// CoreAblatedFactory builds the paper's protocol with specific options
+// disabled, for the ablation benches.
+func CoreAblatedFactory(mode core.Mode, opts core.Options) runner.Factory {
+	return func(cfg consensus.Config, oracle consensus.LeaderOracle) consensus.Protocol {
+		return core.NewUnchecked(cfg, mode, opts, oracle)
+	}
+}
+
+var factories = map[string]runner.Factory{
+	CoreTask:   CoreTaskFactory,
+	CoreObject: CoreObjectFactory,
+	Paxos:      PaxosFactory,
+	FastPaxos:  FastPaxosFactory,
+}
+
+// ByName returns the named factory. EPaxos instances are owner-specific;
+// use EPaxosFactory directly.
+func ByName(name string) (runner.Factory, error) {
+	fac, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("protocols: unknown protocol %q (have %v)", name, Names())
+	}
+	return fac, nil
+}
+
+// Names lists the registered protocol names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MinProcesses returns the theoretical minimum process count for the named
+// protocol at thresholds (f, e).
+func MinProcesses(name string, f, e int) (int, error) {
+	switch name {
+	case CoreTask:
+		return quorum.TaskMinProcesses(f, e), nil
+	case CoreObject:
+		return quorum.ObjectMinProcesses(f, e), nil
+	case FastPaxos:
+		return quorum.LamportMinProcesses(f, e), nil
+	case Paxos:
+		return quorum.PlainMinProcesses(f), nil
+	default:
+		return 0, fmt.Errorf("protocols: unknown protocol %q", name)
+	}
+}

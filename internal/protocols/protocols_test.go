@@ -1,0 +1,66 @@
+package protocols_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range protocols.Names() {
+		fac, err := protocols.ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cfg := consensus.Config{ID: 0, N: 7, F: 2, E: 1, Delta: 10}
+		p := fac(cfg, consensus.FixedLeader(0))
+		if p == nil || p.ID() != 0 {
+			t.Fatalf("%s: bad instance", name)
+		}
+		if _, ok := p.Decision(); ok {
+			t.Fatalf("%s: fresh instance already decided", name)
+		}
+	}
+	if _, err := protocols.ByName("nope"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestMinProcesses(t *testing.T) {
+	cases := []struct {
+		name string
+		f, e int
+		want int
+	}{
+		{protocols.CoreTask, 2, 2, quorum.TaskMinProcesses(2, 2)},
+		{protocols.CoreObject, 2, 2, quorum.ObjectMinProcesses(2, 2)},
+		{protocols.FastPaxos, 2, 2, quorum.LamportMinProcesses(2, 2)},
+		{protocols.Paxos, 2, 2, quorum.PlainMinProcesses(2)},
+	}
+	for _, c := range cases {
+		got, err := protocols.MinProcesses(c.name, c.f, c.e)
+		if err != nil || got != c.want {
+			t.Errorf("MinProcesses(%s) = %d, %v; want %d", c.name, got, err, c.want)
+		}
+	}
+	if _, err := protocols.MinProcesses("nope", 1, 1); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestEPaxosFactoryBindsOwner(t *testing.T) {
+	fac := protocols.EPaxosFactory(3)
+	cfg := consensus.Config{ID: 1, N: 5, F: 2, E: 2, Delta: 10}
+	p := fac(cfg, consensus.FixedLeader(0))
+	// Non-owners must not register proposals.
+	if effs := p.Propose(consensus.IntValue(7)); len(effs) != 0 {
+		t.Fatalf("non-owner Propose produced effects: %v", effs)
+	}
+	cfg.ID = 3
+	owner := fac(cfg, consensus.FixedLeader(0))
+	if effs := owner.Propose(consensus.IntValue(7)); len(effs) == 0 {
+		t.Fatal("owner Propose produced no effects")
+	}
+}

@@ -1,0 +1,31 @@
+package quorum_test
+
+import (
+	"fmt"
+
+	"repro/internal/quorum"
+)
+
+// Example reproduces the paper's headline comparison for f = 2, e = 2.
+func Example() {
+	f, e := 2, 2
+	fmt.Println("paxos (no fast path):", quorum.PlainMinProcesses(f))
+	fmt.Println("fast paxos (Lamport):", quorum.LamportMinProcesses(f, e))
+	fmt.Println("consensus task:      ", quorum.TaskMinProcesses(f, e))
+	fmt.Println("consensus object:    ", quorum.ObjectMinProcesses(f, e))
+	// Output:
+	// paxos (no fast path): 5
+	// fast paxos (Lamport): 7
+	// consensus task:       6
+	// consensus object:     5
+}
+
+// ExampleEPaxosFastThreshold shows how Egalitarian Paxos sits exactly on
+// the object bound for even f.
+func ExampleEPaxosFastThreshold() {
+	f := 4
+	e := quorum.EPaxosFastThreshold(f)
+	fmt.Printf("f=%d: e=%d, 2e+f−1=%d, 2f+1=%d\n", f, e, 2*e+f-1, 2*f+1)
+	// Output:
+	// f=4: e=3, 2e+f−1=9, 2f+1=9
+}

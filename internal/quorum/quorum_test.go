@@ -1,0 +1,127 @@
+package quorum
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperHeadlineNumbers(t *testing.T) {
+	// The paper's introduction: for e = ⌈(f+1)/2⌉ on 2f+1 processes,
+	// EPaxos sits exactly on the object bound when f is even, and
+	// Lamport's bound would demand 2f+3 for f = 2e−1... verify the
+	// concrete instance the abstract cites: 2f+1 = 2e+f−1.
+	for f := 2; f <= 8; f += 2 {
+		e := EPaxosFastThreshold(f)
+		if got := ObjectMinProcesses(f, e); got != 2*f+1 {
+			t.Errorf("f=%d e=%d: object bound %d, want 2f+1=%d", f, e, got, 2*f+1)
+		}
+	}
+	// Lamport's bound for the same e needs two more than the object bound
+	// whenever the 2e+f side binds.
+	if got, want := LamportMinProcesses(2, 2), 7; got != want {
+		t.Errorf("Lamport(2,2) = %d, want %d", got, want)
+	}
+	if got, want := TaskMinProcesses(2, 2), 6; got != want {
+		t.Errorf("Task(2,2) = %d, want %d", got, want)
+	}
+	if got, want := ObjectMinProcesses(2, 2), 5; got != want {
+		t.Errorf("Object(2,2) = %d, want %d", got, want)
+	}
+}
+
+// TestBoundOrdering checks object ≤ task ≤ lamport and plain ≤ all, for all
+// legal thresholds.
+func TestBoundOrdering(t *testing.T) {
+	prop := func(fRaw, eRaw uint8) bool {
+		f := int(fRaw%8) + 1
+		e := int(eRaw%uint8(f)) + 1
+		obj, task, lam := ObjectMinProcesses(f, e), TaskMinProcesses(f, e), LamportMinProcesses(f, e)
+		plain := PlainMinProcesses(f)
+		return obj <= task && task <= lam && plain <= obj &&
+			task-obj <= 1 && lam-task <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check(Task, 6, 2, 2); err != nil {
+		t.Errorf("Check(task, 6, 2, 2) = %v", err)
+	}
+	if err := Check(Task, 5, 2, 2); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Check(task, 5, 2, 2) = %v, want ErrInfeasible", err)
+	}
+	if err := Check(Object, 5, 2, 2); err != nil {
+		t.Errorf("Check(object, 5, 2, 2) = %v", err)
+	}
+	if err := Check(Task, 6, 2, 3); err == nil {
+		t.Error("Check accepted e > f")
+	}
+}
+
+func TestMaxFastThreshold(t *testing.T) {
+	// n=7, f=3: task can afford e=2 (2e+f=7), object e=2 as well
+	// (2e+f−1=6 ≤ 7; e=3 needs 8), lamport e=1 (2e+f+1=6 ≤ 7; e=2 needs 8).
+	if got := MaxFastThreshold(Task, 7, 3); got != 2 {
+		t.Errorf("MaxFastThreshold(task,7,3) = %d, want 2", got)
+	}
+	if got := MaxFastThreshold(Object, 7, 3); got != 2 {
+		t.Errorf("MaxFastThreshold(object,7,3) = %d, want 2", got)
+	}
+	if got := MaxFastThreshold(Lamport, 7, 3); got != 1 {
+		t.Errorf("MaxFastThreshold(lamport,7,3) = %d, want 1", got)
+	}
+	if got := MaxFastThreshold(Object, 8, 3); got != 3 {
+		t.Errorf("MaxFastThreshold(object,8,3) = %d, want 3", got)
+	}
+}
+
+func TestEPaxosQuorums(t *testing.T) {
+	cases := []struct{ f, e, q int }{
+		{1, 1, 2},
+		{2, 2, 3},
+		{3, 2, 5},
+		{4, 3, 6},
+		{5, 3, 8},
+	}
+	for _, c := range cases {
+		if got := EPaxosFastThreshold(c.f); got != c.e {
+			t.Errorf("EPaxosFastThreshold(%d) = %d, want %d", c.f, got, c.e)
+		}
+		if got := EPaxosFastQuorum(c.f); got != c.q {
+			t.Errorf("EPaxosFastQuorum(%d) = %d, want %d", c.f, got, c.q)
+		}
+		// Identity: fast quorum = n − e on 2f+1 processes.
+		if got := 2*c.f + 1 - EPaxosFastThreshold(c.f); got != EPaxosFastQuorum(c.f) {
+			t.Errorf("f=%d: n−e = %d ≠ fast quorum %d", c.f, got, EPaxosFastQuorum(c.f))
+		}
+	}
+}
+
+func TestByzantineFastBound(t *testing.T) {
+	// Kuznetsov et al.'s 3f+2e−1, floored by the classic 3f+1.
+	if got := ByzantineFastMinProcesses(1, 1); got != 4 {
+		t.Errorf("Byz(1,1) = %d, want 4 (3f+1 binds)", got)
+	}
+	if got := ByzantineFastMinProcesses(2, 2); got != 9 {
+		t.Errorf("Byz(2,2) = %d, want 9", got)
+	}
+	// Always at least the crash-failure Lamport bound.
+	for f := 1; f <= 5; f++ {
+		for e := 1; e <= f; e++ {
+			if ByzantineFastMinProcesses(f, e) < LamportMinProcesses(f, e) {
+				t.Errorf("Byz(%d,%d) below the crash bound", f, e)
+			}
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{Task: "task", Object: "object", Lamport: "lamport"} {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

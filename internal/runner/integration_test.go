@@ -1,0 +1,129 @@
+package runner_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+	"repro/internal/runner"
+)
+
+func TestEFaultySyncRecordsDiagramMessages(t *testing.T) {
+	sc := runner.Scenario{N: 3, F: 1, E: 1, Delta: 10}
+	inputs := map[consensus.ProcessID]consensus.Value{
+		0: consensus.IntValue(1),
+		1: consensus.IntValue(5),
+		2: consensus.IntValue(3),
+	}
+	tr, err := runner.EFaultySync(protocols.CoreTaskFactory, sc, runner.SyncRun{
+		Inputs:       inputs,
+		Prefer:       1,
+		KeepMessages: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Messages) == 0 {
+		t.Fatal("KeepMessages retained nothing")
+	}
+	// All deliveries in a synchronous run land exactly on round
+	// boundaries.
+	for _, m := range tr.Messages {
+		if m.At%consensus.Time(sc.Delta) != 0 {
+			t.Fatalf("delivery at %d is off the round grid", m.At)
+		}
+	}
+}
+
+// TestTwoStepCoverageIsLivenessNotSafety documents a subtle point the
+// reproduction surfaces: the e-two-step property (Definition 4) is about the
+// EXISTENCE of fast runs, and the fast path can assemble its n−e quorum at
+// any n — coverage passes even below the bound. What breaks below the bound
+// is SAFETY, exhibited by the Appendix-B constructions (internal/lowerbound
+// and the T4 experiment), never by the coverage check.
+func TestTwoStepCoverageIsLivenessNotSafety(t *testing.T) {
+	f, e := 2, 2
+	n := quorum.TaskMinProcesses(f, e) - 1
+	sc := runner.Scenario{N: n, F: f, E: e, Delta: 10, Seed: 3}
+	report := runner.TaskTwoStep(protocols.CoreTaskFactory, sc)
+	if !report.OK() {
+		t.Fatalf("coverage unexpectedly failed below the bound: %s\n%v\n%v",
+			report, report.Item1.Failures, report.Item2.Failures)
+	}
+	if report.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+// TestTwoStepCoverageFailureReporting exercises the failure paths with the
+// Paxos negative control (never two-step under a crashed initial leader).
+func TestTwoStepCoverageFailureReporting(t *testing.T) {
+	sc := runner.Scenario{N: 3, F: 1, E: 1, Delta: 10, Seed: 3}
+	report := runner.TaskTwoStep(protocols.PaxosFactory, sc)
+	if report.OK() {
+		t.Fatal("paxos passed two-step coverage")
+	}
+	if len(report.Item1.Failures)+len(report.Item2.Failures) == 0 {
+		t.Fatal("no failure details recorded")
+	}
+}
+
+func TestObjectTwoStepAtBoundInPackage(t *testing.T) {
+	f, e := 2, 2
+	n := quorum.ObjectMinProcesses(f, e)
+	report := runner.ObjectTwoStep(protocols.CoreObjectFactory,
+		runner.Scenario{N: n, F: f, E: e, Delta: 10, Seed: 3})
+	if !report.OK() {
+		t.Fatalf("object coverage failed at the bound: %s", report)
+	}
+}
+
+func TestSoakWithDuplicates(t *testing.T) {
+	sc := runner.Scenario{N: 5, F: 2, E: 1, Delta: 10, Seed: 21}
+	res := runner.Soak(protocols.CoreTaskFactory, sc, runner.SoakOptions{
+		Runs:          40,
+		MaxCrashes:    2,
+		DuplicateProb: 0.3,
+	})
+	if !res.OK() {
+		t.Fatalf("soak with duplicate delivery: %s\n%v", res, res.Failures)
+	}
+	if res.String() == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+func TestSoakObjectMode(t *testing.T) {
+	sc := runner.Scenario{N: 5, F: 2, E: 2, Delta: 10, Seed: 22}
+	res := runner.Soak(protocols.CoreObjectFactory, sc, runner.SoakOptions{
+		Runs:       40,
+		MaxCrashes: 2,
+		Object:     true,
+	})
+	if !res.OK() {
+		t.Fatalf("object soak: %s\n%v", res, res.Failures)
+	}
+}
+
+// muteProtocol never decides — a deterministic negative control proving the
+// soak campaign reports liveness misses instead of silently passing.
+type muteProtocol struct{ id consensus.ProcessID }
+
+func (m *muteProtocol) ID() consensus.ProcessID                                           { return m.id }
+func (m *muteProtocol) Start() []consensus.Effect                                         { return nil }
+func (m *muteProtocol) Propose(consensus.Value) []consensus.Effect                        { return nil }
+func (m *muteProtocol) Deliver(consensus.ProcessID, consensus.Message) []consensus.Effect { return nil }
+func (m *muteProtocol) Tick(consensus.TimerID) []consensus.Effect                         { return nil }
+func (m *muteProtocol) Decision() (consensus.Value, bool)                                 { return consensus.None, false }
+
+func TestSoakDetectsLivenessMiss(t *testing.T) {
+	fac := func(cfg consensus.Config, _ consensus.LeaderOracle) consensus.Protocol {
+		return &muteProtocol{id: cfg.ID}
+	}
+	sc := runner.Scenario{N: 3, F: 1, E: 1, Delta: 10, Seed: 23}
+	res := runner.Soak(fac, sc, runner.SoakOptions{Runs: 5, HorizonRounds: 20})
+	if res.OK() || res.Undecided != 5 {
+		t.Fatalf("mute protocol not reported as undecided: %s", res)
+	}
+}

@@ -1,0 +1,147 @@
+// Package runner turns the paper's definitions into executable, checkable
+// scenarios on top of the simulator:
+//
+//   - E-faulty synchronous runs (Definition 2): all processes in E crash at
+//     the beginning of round 1, every message is delivered exactly at the
+//     next round boundary, local computation is instantaneous.
+//   - The e-two-step predicates for tasks (Definition 4) and objects
+//     (Definition A.1). Both definitions quantify existentially over runs
+//     ("there exists an E-faulty synchronous run …"); the runner realizes
+//     the existential by steering same-round delivery order so that a chosen
+//     process's Propose is handled first everywhere, and by searching over
+//     the choice when necessary.
+//   - Randomized partial-synchrony soak runs with crash injection, used to
+//     check Validity/Agreement/Termination over many seeds.
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Factory builds a protocol instance for one process of a deployment.
+// Implementations are provided by the protocol packages' test/bench glue.
+type Factory func(cfg consensus.Config, oracle consensus.LeaderOracle) consensus.Protocol
+
+// Scenario fixes the deployment parameters for a family of runs.
+type Scenario struct {
+	N, F, E int
+	Delta   consensus.Duration
+	Seed    int64
+}
+
+// Config returns the consensus.Config for process p in this scenario.
+func (s Scenario) Config(p consensus.ProcessID) consensus.Config {
+	return consensus.Config{ID: p, N: s.N, F: s.F, E: s.E, Delta: s.Delta}
+}
+
+// SyncRun describes one E-faulty synchronous run to execute.
+type SyncRun struct {
+	// Faulty is the crash set E; its members crash at time 0.
+	Faulty []consensus.ProcessID
+	// Inputs maps processes to the value they propose at time 0.
+	// Processes absent from the map propose nothing (object mode).
+	Inputs map[consensus.ProcessID]consensus.Value
+	// Prefer, if valid, makes every process handle messages from Prefer
+	// before same-tick messages from anyone else.
+	Prefer consensus.ProcessID
+	// Horizon stops the run; zero means 2Δ (just the fast path).
+	Horizon consensus.Time
+	// KeepMessages retains every delivery in the trace, enabling
+	// trace.WriteFlow diagrams.
+	KeepMessages bool
+}
+
+// EFaultySync executes one E-faulty synchronous run and returns its trace.
+func EFaultySync(fac Factory, sc Scenario, run SyncRun) (*trace.Trace, error) {
+	horizon := run.Horizon
+	if horizon == 0 {
+		horizon = consensus.Time(2 * sc.Delta)
+	}
+	cl, err := sim.New(sim.Options{
+		N:            sc.N,
+		Delta:        sc.Delta,
+		Policy:       sim.Synchronous{Delta: sc.Delta},
+		Horizon:      horizon,
+		KeepMessages: run.KeepMessages,
+		PriorityFn: func(env sim.Envelope) int {
+			if env.From == run.Prefer {
+				return 0
+			}
+			return 1 + int(env.From)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+	oracle := cl.Oracle()
+	for i := 0; i < sc.N; i++ {
+		p := consensus.ProcessID(i)
+		cl.SetNode(p, fac(sc.Config(p), oracle))
+	}
+	for _, p := range run.Faulty {
+		cl.ScheduleCrash(p, 0)
+	}
+	for i := 0; i < sc.N; i++ {
+		p := consensus.ProcessID(i)
+		if v, ok := run.Inputs[p]; ok {
+			cl.SchedulePropose(p, 0, v)
+		}
+	}
+	return cl.Run(nil), nil
+}
+
+// Combinations enumerates all k-subsets of {0,…,n−1} in lexicographic order.
+func Combinations(n, k int) [][]consensus.ProcessID {
+	if k < 0 || k > n {
+		return nil
+	}
+	var out [][]consensus.ProcessID
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		set := make([]consensus.ProcessID, k)
+		for i, v := range idx {
+			set[i] = consensus.ProcessID(v)
+		}
+		out = append(out, set)
+		// Advance.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// contains reports whether p is in set.
+func contains(set []consensus.ProcessID, p consensus.ProcessID) bool {
+	for _, q := range set {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// correctOf returns Π∖faulty in ascending order.
+func correctOf(n int, faulty []consensus.ProcessID) []consensus.ProcessID {
+	out := make([]consensus.ProcessID, 0, n-len(faulty))
+	for i := 0; i < n; i++ {
+		if p := consensus.ProcessID(i); !contains(faulty, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

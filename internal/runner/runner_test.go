@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+func TestCombinationsCountAndOrder(t *testing.T) {
+	// C(5,2) = 10, lexicographic.
+	got := Combinations(5, 2)
+	if len(got) != 10 {
+		t.Fatalf("len = %d, want 10", len(got))
+	}
+	if got[0][0] != 0 || got[0][1] != 1 {
+		t.Fatalf("first = %v", got[0])
+	}
+	if got[9][0] != 3 || got[9][1] != 4 {
+		t.Fatalf("last = %v", got[9])
+	}
+	seen := make(map[string]struct{})
+	for _, set := range got {
+		key := ""
+		prev := consensus.ProcessID(-1)
+		for _, p := range set {
+			if p <= prev {
+				t.Fatalf("set not strictly increasing: %v", set)
+			}
+			prev = p
+			key += p.String() + ","
+		}
+		if _, dup := seen[key]; dup {
+			t.Fatalf("duplicate set %v", set)
+		}
+		seen[key] = struct{}{}
+	}
+}
+
+func TestCombinationsEdgeCases(t *testing.T) {
+	if got := Combinations(4, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("C(4,0) = %v", got)
+	}
+	if got := Combinations(3, 3); len(got) != 1 {
+		t.Errorf("C(3,3) = %v", got)
+	}
+	if got := Combinations(3, 4); got != nil {
+		t.Errorf("C(3,4) = %v, want nil", got)
+	}
+	if got := Combinations(6, 3); len(got) != 20 {
+		t.Errorf("C(6,3) = %d sets, want 20", len(got))
+	}
+}
+
+func TestCorrectOf(t *testing.T) {
+	got := correctOf(5, []consensus.ProcessID{1, 3})
+	want := []consensus.ProcessID{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("correctOf = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("correctOf = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTaskInputFamiliesDeterministic(t *testing.T) {
+	sc := Scenario{N: 5, F: 2, E: 1, Delta: 10, Seed: 9}
+	a := taskInputFamilies(sc)
+	b := taskInputFamilies(sc)
+	if len(a) != len(b) || len(a) < 5 {
+		t.Fatalf("family counts differ or too few: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for p, v := range a[i] {
+			if b[i][p] != v {
+				t.Fatalf("family %d not deterministic at %s: %v vs %v", i, p, v, b[i][p])
+			}
+		}
+	}
+	// Ascending family puts the maximum at the last process.
+	if a[0][consensus.ProcessID(4)] != consensus.IntValue(5) {
+		t.Fatalf("ascending family wrong: %v", a[0])
+	}
+	// Descending family puts it at the first.
+	if a[1][consensus.ProcessID(0)] != consensus.IntValue(5) {
+		t.Fatalf("descending family wrong: %v", a[1])
+	}
+}
+
+func TestMaxInputProcess(t *testing.T) {
+	inputs := map[consensus.ProcessID]consensus.Value{
+		0: consensus.IntValue(3),
+		1: consensus.IntValue(9),
+		2: consensus.IntValue(9),
+	}
+	p, ok := maxInputProcess(inputs, []consensus.ProcessID{0, 1, 2})
+	if !ok || p != 1 {
+		t.Fatalf("maxInputProcess = %v ok=%v, want p1 (lowest id among ties)", p, ok)
+	}
+	// Restricting to correct processes matters.
+	p, ok = maxInputProcess(inputs, []consensus.ProcessID{0})
+	if !ok || p != 0 {
+		t.Fatalf("maxInputProcess = %v ok=%v", p, ok)
+	}
+	if _, ok := maxInputProcess(inputs, nil); ok {
+		t.Fatal("maxInputProcess found someone with no correct processes")
+	}
+}

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/consensus"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SoakOptions configures randomized partial-synchrony safety/liveness runs.
+type SoakOptions struct {
+	// Runs is the number of seeded executions.
+	Runs int
+	// MaxCrashes bounds the number of crash-injected processes per run
+	// (clamped to f).
+	MaxCrashes int
+	// Object selects object-mode workloads: a random non-empty subset of
+	// processes proposes, at random times. Task mode gives every process
+	// an input at time 0.
+	Object bool
+	// GSTMaxRounds bounds the random GST, in rounds.
+	GSTMaxRounds int
+	// HorizonRounds bounds each run, in rounds after GST.
+	HorizonRounds int
+	// DuplicateProb, in [0,1), injects at-least-once delivery: each
+	// message has this probability of being delivered twice (the copy is
+	// independently delayed). Protocols must be idempotent.
+	DuplicateProb float64
+}
+
+// SoakResult aggregates the outcome of a soak campaign.
+type SoakResult struct {
+	Runs       int
+	Violations int      // safety (validity/agreement/linearizability) failures
+	Undecided  int      // liveness failures (horizon hit before termination)
+	Failures   []string // capped detail
+	// TotalDecisions counts processes that decided across all runs.
+	TotalDecisions int
+}
+
+// OK reports whether the campaign saw no violations and no liveness misses.
+func (r SoakResult) OK() bool { return r.Violations == 0 && r.Undecided == 0 }
+
+// String implements fmt.Stringer.
+func (r SoakResult) String() string {
+	return fmt.Sprintf("runs=%d violations=%d undecided=%d decisions=%d",
+		r.Runs, r.Violations, r.Undecided, r.TotalDecisions)
+}
+
+// Soak executes randomized partially synchronous runs with crash injection
+// and checks every trace against the consensus specification.
+func Soak(fac Factory, sc Scenario, opts SoakOptions) SoakResult {
+	if opts.Runs == 0 {
+		opts.Runs = 100
+	}
+	if opts.GSTMaxRounds == 0 {
+		opts.GSTMaxRounds = 10
+	}
+	if opts.HorizonRounds == 0 {
+		opts.HorizonRounds = 400
+	}
+	if opts.MaxCrashes > sc.F {
+		opts.MaxCrashes = sc.F
+	}
+	var result SoakResult
+	for run := 0; run < opts.Runs; run++ {
+		result.Runs++
+		tr, err := soakOnce(fac, sc, opts, sc.Seed+int64(run)*7919)
+		if err != nil {
+			// Termination misses are liveness (undecided); everything
+			// else is a safety violation.
+			if errors.Is(err, trace.ErrTermination) {
+				result.Undecided++
+			} else {
+				result.Violations++
+			}
+			if len(result.Failures) < maxFailures {
+				result.Failures = append(result.Failures, fmt.Sprintf("run %d: %v", run, err))
+			}
+			continue
+		}
+		result.TotalDecisions += len(tr.Decisions)
+	}
+	return result
+}
+
+func soakOnce(fac Factory, sc Scenario, opts SoakOptions, seed int64) (*trace.Trace, error) {
+	rng := rand.New(rand.NewSource(seed))
+	gst := consensus.Time(rng.Int63n(int64(opts.GSTMaxRounds)+1)) * consensus.Time(sc.Delta)
+	horizon := gst + consensus.Time(opts.HorizonRounds)*consensus.Time(sc.Delta)
+	policy := sim.NewPartialSync(sc.Delta, gst, 6*sc.Delta, seed+1)
+
+	var duplicator func(sim.Envelope) int
+	if opts.DuplicateProb > 0 {
+		dupRng := rand.New(rand.NewSource(seed + 2))
+		p := opts.DuplicateProb
+		duplicator = func(sim.Envelope) int {
+			if dupRng.Float64() < p {
+				return 1
+			}
+			return 0
+		}
+	}
+	cl, err := sim.New(sim.Options{
+		N:          sc.N,
+		Delta:      sc.Delta,
+		Policy:     policy,
+		Horizon:    horizon,
+		Duplicator: duplicator,
+	})
+	if err != nil {
+		return nil, err
+	}
+	oracle := cl.Oracle()
+	for i := 0; i < sc.N; i++ {
+		p := consensus.ProcessID(i)
+		cl.SetNode(p, fac(sc.Config(p), oracle))
+	}
+
+	// Crash injection: up to MaxCrashes distinct processes at random
+	// times in [0, GST + 5Δ].
+	nCrashes := 0
+	if opts.MaxCrashes > 0 {
+		nCrashes = rng.Intn(opts.MaxCrashes + 1)
+	}
+	crashed := make(map[consensus.ProcessID]struct{}, nCrashes)
+	for len(crashed) < nCrashes {
+		p := consensus.ProcessID(rng.Intn(sc.N))
+		if _, dup := crashed[p]; dup {
+			continue
+		}
+		crashed[p] = struct{}{}
+		at := consensus.Time(rng.Int63n(int64(gst) + 5*int64(sc.Delta) + 1))
+		cl.ScheduleCrash(p, at)
+	}
+
+	// Workload.
+	proposers := make([]consensus.ProcessID, 0, sc.N)
+	if opts.Object {
+		for i := 0; i < sc.N; i++ {
+			if rng.Intn(2) == 0 {
+				proposers = append(proposers, consensus.ProcessID(i))
+			}
+		}
+		if len(proposers) == 0 {
+			proposers = append(proposers, consensus.ProcessID(rng.Intn(sc.N)))
+		}
+		for _, p := range proposers {
+			at := consensus.Time(rng.Int63n(2*int64(sc.Delta) + 1))
+			cl.SchedulePropose(p, at, consensus.IntValue(1+rng.Int63n(int64(sc.N))))
+		}
+	} else {
+		for i := 0; i < sc.N; i++ {
+			cl.SchedulePropose(consensus.ProcessID(i), 0, consensus.IntValue(1+rng.Int63n(int64(sc.N))))
+		}
+	}
+
+	tr := cl.Run(func(c *sim.Cluster) bool { return c.AllDecided() })
+
+	if opts.Object {
+		if err := tr.CheckObjectSpec(); err != nil {
+			return tr, err
+		}
+	} else if err := tr.CheckTaskSpec(); err != nil {
+		return tr, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,233 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/consensus"
+)
+
+// Verdict is the outcome of checking one item of a two-step definition
+// across all its quantified instances.
+type Verdict struct {
+	OK       bool
+	Runs     int
+	Failures []string // capped at maxFailures
+}
+
+const maxFailures = 10
+
+func (v *Verdict) fail(format string, args ...any) {
+	v.OK = false
+	if len(v.Failures) < maxFailures {
+		v.Failures = append(v.Failures, fmt.Sprintf(format, args...))
+	}
+}
+
+// TwoStepReport is the outcome of checking Definition 4 (task) or
+// Definition A.1 (object) for one scenario.
+type TwoStepReport struct {
+	Scenario Scenario
+	Item1    Verdict
+	Item2    Verdict
+}
+
+// OK reports whether both items held for every quantified instance.
+func (r TwoStepReport) OK() bool { return r.Item1.OK && r.Item2.OK }
+
+// String implements fmt.Stringer.
+func (r TwoStepReport) String() string {
+	return fmt.Sprintf("n=%d f=%d e=%d item1=%v item2=%v (runs=%d+%d)",
+		r.Scenario.N, r.Scenario.F, r.Scenario.E, r.Item1.OK, r.Item2.OK, r.Item1.Runs, r.Item2.Runs)
+}
+
+// TaskTwoStep checks Definition 4 for a consensus-task protocol: for every
+// crash set E of size e,
+//
+//	(1) for every initial configuration (sampled from a structured family),
+//	    some E-faulty synchronous run is two-step for some process;
+//	(2) for every configuration where all correct processes propose the
+//	    same value, for each correct p some run is two-step for p.
+//
+// The existential over runs is realized by preferring the natural witness
+// (the correct process with the greatest input for item 1; p itself for
+// item 2) and falling back to an exhaustive search over preferred processes.
+func TaskTwoStep(fac Factory, sc Scenario) TwoStepReport {
+	report := TwoStepReport{Scenario: sc, Item1: Verdict{OK: true}, Item2: Verdict{OK: true}}
+	subsets := Combinations(sc.N, sc.E)
+
+	// Item 1: arbitrary initial configurations.
+	for _, faulty := range subsets {
+		for fi, inputs := range taskInputFamilies(sc) {
+			correct := correctOf(sc.N, faulty)
+			if ok := existsTwoStepForSomeone(fac, sc, faulty, inputs, correct, &report.Item1); !ok {
+				report.Item1.fail("E=%v family=%d: no E-faulty synchronous run is two-step for anyone", faulty, fi)
+			}
+		}
+	}
+
+	// Item 2: all correct processes propose the same value.
+	for _, faulty := range subsets {
+		inputs := make(map[consensus.ProcessID]consensus.Value, sc.N)
+		for i := 0; i < sc.N; i++ {
+			p := consensus.ProcessID(i)
+			if contains(faulty, p) {
+				// Faulty inputs are arbitrary; choose a greater
+				// value to be adversarial (they crash before
+				// sending, so a correct protocol is unaffected).
+				inputs[p] = consensus.IntValue(100)
+			} else {
+				inputs[p] = consensus.IntValue(7)
+			}
+		}
+		for _, p := range correctOf(sc.N, faulty) {
+			report.Item2.Runs++
+			tr, err := EFaultySync(fac, sc, SyncRun{Faulty: faulty, Inputs: inputs, Prefer: p})
+			if err != nil {
+				report.Item2.fail("E=%v p=%s: %v", faulty, p, err)
+				continue
+			}
+			if !tr.TwoStepFor(p, sc.Delta) {
+				report.Item2.fail("E=%v: no run is two-step for %s", faulty, p)
+			}
+		}
+	}
+	return report
+}
+
+// ObjectTwoStep checks Definition A.1 for a consensus-object protocol:
+//
+//	(1) for every E and every correct p, some E-faulty synchronous run in
+//	    which only p proposes is two-step for p;
+//	(2) for every E and every correct p, some run in which all correct
+//	    processes propose the same value is two-step for p.
+func ObjectTwoStep(fac Factory, sc Scenario) TwoStepReport {
+	report := TwoStepReport{Scenario: sc, Item1: Verdict{OK: true}, Item2: Verdict{OK: true}}
+	subsets := Combinations(sc.N, sc.E)
+
+	// Definition A.1 quantifies over every value v; values are symmetric
+	// up to the protocol's total order, so a small and a large key sample
+	// both ends of it.
+	values := []consensus.Value{consensus.IntValue(1), consensus.IntValue(1 << 40)}
+
+	for _, faulty := range subsets {
+		correct := correctOf(sc.N, faulty)
+
+		// Item 1: a lone proposer decides in two steps.
+		for _, p := range correct {
+			for _, v := range values {
+				report.Item1.Runs++
+				inputs := map[consensus.ProcessID]consensus.Value{p: v}
+				tr, err := EFaultySync(fac, sc, SyncRun{Faulty: faulty, Inputs: inputs, Prefer: p})
+				if err != nil {
+					report.Item1.fail("E=%v p=%s v=%s: %v", faulty, p, v, err)
+					continue
+				}
+				if !tr.TwoStepFor(p, sc.Delta) {
+					report.Item1.fail("E=%v: lone proposer %s of %s not two-step", faulty, p, v)
+				}
+			}
+		}
+
+		// Item 2: unanimous proposals.
+		for _, v := range values {
+			inputs := make(map[consensus.ProcessID]consensus.Value, len(correct))
+			for _, p := range correct {
+				inputs[p] = v
+			}
+			for _, p := range correct {
+				report.Item2.Runs++
+				tr, err := EFaultySync(fac, sc, SyncRun{Faulty: faulty, Inputs: inputs, Prefer: p})
+				if err != nil {
+					report.Item2.fail("E=%v p=%s v=%s: %v", faulty, p, v, err)
+					continue
+				}
+				if !tr.TwoStepFor(p, sc.Delta) {
+					report.Item2.fail("E=%v: unanimous run of %s not two-step for %s", faulty, v, p)
+				}
+			}
+		}
+	}
+	return report
+}
+
+// existsTwoStepForSomeone tries the natural witness schedule (prefer the
+// correct process with the greatest input), then every other correct
+// process, and reports whether any schedule was two-step for some process.
+func existsTwoStepForSomeone(
+	fac Factory,
+	sc Scenario,
+	faulty []consensus.ProcessID,
+	inputs map[consensus.ProcessID]consensus.Value,
+	correct []consensus.ProcessID,
+	v *Verdict,
+) bool {
+	order := make([]consensus.ProcessID, 0, len(correct))
+	if best, ok := maxInputProcess(inputs, correct); ok {
+		order = append(order, best)
+	}
+	for _, p := range correct {
+		if len(order) == 0 || p != order[0] {
+			order = append(order, p)
+		}
+	}
+	for _, prefer := range order {
+		v.Runs++
+		tr, err := EFaultySync(fac, sc, SyncRun{Faulty: faulty, Inputs: inputs, Prefer: prefer})
+		if err != nil {
+			continue
+		}
+		if len(tr.TwoStepProcesses(sc.Delta)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// maxInputProcess returns the correct process with the greatest input,
+// breaking ties by lowest id.
+func maxInputProcess(
+	inputs map[consensus.ProcessID]consensus.Value,
+	correct []consensus.ProcessID,
+) (consensus.ProcessID, bool) {
+	best := consensus.NoProcess
+	bestVal := consensus.None
+	for _, p := range correct {
+		val, ok := inputs[p]
+		if !ok {
+			continue
+		}
+		if best == consensus.NoProcess || bestVal.Less(val) {
+			best, bestVal = p, val
+		}
+	}
+	return best, best != consensus.NoProcess
+}
+
+// taskInputFamilies generates the structured family of initial
+// configurations used to sample the universal quantifier of Definition 4
+// item 1: ascending and descending assignments (the maximum sits at either
+// end), a lone-maximum assignment, a two-block split, and two seeded random
+// assignments.
+func taskInputFamilies(sc Scenario) []map[consensus.ProcessID]consensus.Value {
+	n := sc.N
+	mk := func(f func(i int) int64) map[consensus.ProcessID]consensus.Value {
+		m := make(map[consensus.ProcessID]consensus.Value, n)
+		for i := 0; i < n; i++ {
+			m[consensus.ProcessID(i)] = consensus.IntValue(f(i))
+		}
+		return m
+	}
+	fams := []map[consensus.ProcessID]consensus.Value{
+		mk(func(i int) int64 { return int64(i + 1) }),     // ascending
+		mk(func(i int) int64 { return int64(n - i) }),     // descending
+		mk(func(i int) int64 { return 1 }),                // unanimous low
+		mk(func(i int) int64 { return int64(1 + i%2) }),   // alternating
+		mk(func(i int) int64 { return int64(1 + i/2*2) }), // pairs
+	}
+	rng := rand.New(rand.NewSource(sc.Seed + 1))
+	for k := 0; k < 2; k++ {
+		fams = append(fams, mk(func(i int) int64 { return 1 + rng.Int63n(int64(n)) }))
+	}
+	return fams
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"container/heap"
+
+	"repro/internal/consensus"
+)
+
+// Priority classes for same-tick event ordering. Crashes scheduled at a tick
+// happen before message deliveries at that tick ("processes in E crash at
+// the beginning of the first round"), and timers fire after deliveries, so a
+// fast-path decision at exactly 2Δ lands before the 2Δ new-ballot timer.
+const (
+	prioCrash   = -1 << 20
+	prioStart   = -1<<20 + 1
+	prioPropose = -1<<20 + 2
+	prioDeliver = 0 // + PriorityFn bias
+	prioTimer   = 1 << 20
+)
+
+type eventKind int
+
+const (
+	evCrash eventKind = iota + 1
+	evStart
+	evPropose
+	evDeliver
+	evTimer
+)
+
+// Envelope is a message in flight.
+type Envelope struct {
+	From, To consensus.ProcessID
+	Msg      consensus.Message
+	SentAt   consensus.Time
+}
+
+type event struct {
+	at   consensus.Time
+	prio int
+	seq  int64 // FIFO tie-break, assigned at scheduling time
+
+	kind  eventKind
+	p     consensus.ProcessID // target process (crash/start/propose/timer)
+	env   Envelope            // evDeliver
+	value consensus.Value     // evPropose
+	timer consensus.TimerID   // evTimer
+	gen   int64               // evTimer generation; stale timers are ignored
+}
+
+// eventQueue is a deterministic min-heap ordered by (at, prio, seq).
+type eventQueue []*event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

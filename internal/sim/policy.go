@@ -1,0 +1,135 @@
+// Package sim is a deterministic discrete-event simulator for the system
+// model of the paper's §2: n crash-prone processes connected by reliable
+// links in a partially synchronous network. Time is a logical tick counter;
+// a round is Δ ticks. Delay policies implement the paper's synchronous-round
+// model (Definition 2, items 3–4), the DLS partial-synchrony model with an
+// unknown GST, and a WAN model driven by an RTT matrix.
+//
+// Everything is deterministic given the seed: the event queue breaks ties by
+// (time, priority, sequence number), protocols are pure state machines, and
+// randomness comes only from the policy's seeded generator. The delivery
+// PriorityFn hook lets scenario drivers (internal/runner) steer which of
+// several same-tick deliveries a process handles first — this is how the
+// existentially quantified runs of Definitions 4 and A.1 ("there exists an
+// E-faulty synchronous run …") are constructed.
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/consensus"
+)
+
+// DelayPolicy decides when a message sent at sentAt from one process to
+// another is delivered. Implementations may be stateful (seeded RNG); the
+// simulator calls Delay exactly once per unicast message, in a deterministic
+// order.
+type DelayPolicy interface {
+	// Delay returns the network delay for the message; the simulator
+	// delivers at sentAt + Delay. Must be ≥ 0.
+	Delay(sentAt consensus.Time, from, to consensus.ProcessID) consensus.Duration
+}
+
+// Synchronous delivers every message exactly at the beginning of the next
+// round (Definition 2, item 3): a message sent during round k arrives at
+// time (k+1)·Δ.
+type Synchronous struct {
+	// Delta is the round length Δ in ticks.
+	Delta consensus.Duration
+}
+
+var _ DelayPolicy = Synchronous{}
+
+// Delay implements DelayPolicy.
+func (s Synchronous) Delay(sentAt consensus.Time, _, _ consensus.ProcessID) consensus.Duration {
+	next := (sentAt/consensus.Time(s.Delta) + 1) * consensus.Time(s.Delta)
+	return consensus.Duration(next - sentAt)
+}
+
+// PartialSync implements the DLS partial-synchrony model: messages sent
+// before GST suffer arbitrary (bounded, seeded-random) delays but are
+// delivered by GST+Δ at the latest; messages sent at or after GST take
+// between 1 tick and Δ.
+type PartialSync struct {
+	delta     consensus.Duration
+	gst       consensus.Time
+	preGSTMax consensus.Duration
+	rng       *rand.Rand
+}
+
+var _ DelayPolicy = (*PartialSync)(nil)
+
+// NewPartialSync builds a partial-synchrony policy. preGSTMax bounds the
+// extra delay adversarially injected before GST (values several times Δ
+// exercise slow-path recovery); seed makes the run reproducible.
+func NewPartialSync(delta consensus.Duration, gst consensus.Time, preGSTMax consensus.Duration, seed int64) *PartialSync {
+	if preGSTMax < delta {
+		preGSTMax = delta
+	}
+	return &PartialSync{
+		delta:     delta,
+		gst:       gst,
+		preGSTMax: preGSTMax,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Delay implements DelayPolicy.
+func (p *PartialSync) Delay(sentAt consensus.Time, _, _ consensus.ProcessID) consensus.Duration {
+	if sentAt >= p.gst {
+		return 1 + consensus.Duration(p.rng.Int63n(int64(p.delta)))
+	}
+	d := 1 + consensus.Duration(p.rng.Int63n(int64(p.preGSTMax)))
+	// Reliable links: even pre-GST messages arrive by GST+Δ.
+	if latest := p.gst + consensus.Time(p.delta); sentAt+consensus.Time(d) > latest {
+		d = consensus.Duration(latest - sentAt)
+	}
+	return d
+}
+
+// WAN models a geo-replicated deployment: the one-way delay between two
+// processes is half the configured RTT between their regions, plus seeded
+// jitter. Local (same-process) traffic is instantaneous.
+type WAN struct {
+	// RTT[i][j] is the round-trip time in ticks between the regions of
+	// processes i and j.
+	rtt    [][]consensus.Duration
+	jitter consensus.Duration
+	rng    *rand.Rand
+}
+
+var _ DelayPolicy = (*WAN)(nil)
+
+// NewWAN builds a WAN policy from a full n×n RTT matrix (ticks ≈ ms).
+func NewWAN(rtt [][]consensus.Duration, jitter consensus.Duration, seed int64) *WAN {
+	return &WAN{rtt: rtt, jitter: jitter, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay implements DelayPolicy.
+func (w *WAN) Delay(_ consensus.Time, from, to consensus.ProcessID) consensus.Duration {
+	if from == to {
+		return 0
+	}
+	d := w.rtt[from][to] / 2
+	if w.jitter > 0 {
+		d += consensus.Duration(w.rng.Int63n(int64(w.jitter) + 1))
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// MaxRTT returns the largest entry of the matrix; useful for sizing Δ so
+// that the WAN run is "synchronous enough" for the fast path.
+func (w *WAN) MaxRTT() consensus.Duration {
+	var m consensus.Duration
+	for _, row := range w.rtt {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}

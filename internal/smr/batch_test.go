@@ -1,0 +1,146 @@
+package smr_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/smr"
+)
+
+func TestBatchingGroupsConcurrentWrites(t *testing.T) {
+	replicas, cleanup := startCluster(t, 5, 2, 2)
+	defer cleanup()
+	replicas[0].EnableBatching(3*time.Millisecond, 0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := kv.Put(ctx, fmt.Sprintf("b%d", i), "v"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// All writes visible.
+	for i := 0; i < writers; i++ {
+		if _, ok := kv.Get(fmt.Sprintf("b%d", i)); !ok {
+			t.Fatalf("b%d missing", i)
+		}
+	}
+	// And they occupied fewer slots than writes (batching happened).
+	if applied := replicas[0].Applied(); applied >= writers {
+		t.Fatalf("applied %d slots for %d writes: no batching observed", applied, writers)
+	}
+}
+
+func TestBatchingPreservesAgreementAcrossProxies(t *testing.T) {
+	replicas, cleanup := startCluster(t, 5, 2, 1)
+	defer cleanup()
+	for _, r := range replicas {
+		r.EnableBatching(2*time.Millisecond, 8)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(replicas)*4)
+	for ri, r := range replicas {
+		ri, r := ri, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kv := smr.NewKV(r)
+			for j := 0; j < 4; j++ {
+				if err := kv.Put(ctx, fmt.Sprintf("p%d-%d", ri, j), "v"); err != nil {
+					errs <- fmt.Errorf("proxy %d: %w", ri, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Logs agree slot by slot across replicas (where both have them).
+	max := replicas[0].Applied()
+	for slot := 0; slot < max; slot++ {
+		v0, ok := replicas[0].LogValue(slot)
+		if !ok {
+			continue
+		}
+		for i, r := range replicas[1:] {
+			if v, ok := r.LogValue(slot); ok && v != v0 {
+				t.Fatalf("replica %d slot %d disagrees", i+1, slot)
+			}
+		}
+	}
+}
+
+func TestPutAllIsAtomic(t *testing.T) {
+	replicas, cleanup := startCluster(t, 3, 1, 1)
+	defer cleanup()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+
+	if err := kv.PutAll(ctx, map[string]string{"a": "1", "b": "2", "c": "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// All three writes visible, and they occupy exactly one slot.
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		if got, ok := kv.Get(k); !ok || got != want {
+			t.Fatalf("%s = %q ok=%v", k, got, ok)
+		}
+	}
+	if applied := replicas[0].Applied(); applied != 1 {
+		t.Fatalf("applied %d slots, want 1 (atomic batch)", applied)
+	}
+	if err := kv.PutAll(ctx, nil); err != nil {
+		t.Fatalf("empty PutAll: %v", err)
+	}
+}
+
+func TestBatchCommandRoundTrip(t *testing.T) {
+	batch := smr.Command{
+		ID: "p0-batch-1",
+		Op: smr.OpBatch,
+		Subs: []smr.Command{
+			{ID: "a", Op: smr.OpPut, Key: "x", Val: "1"},
+			{ID: "b", Op: smr.OpDelete, Key: "y"},
+		},
+	}
+	v, err := batch.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := smr.DecodeCommand(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(batch) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Equal(smr.Command{ID: "p0-batch-1", Op: smr.OpBatch}) {
+		t.Fatal("Equal ignores Subs")
+	}
+}

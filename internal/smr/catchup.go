@@ -1,0 +1,76 @@
+package smr
+
+import (
+	"encoding/json"
+
+	"repro/internal/consensus"
+)
+
+// Wire kinds for replica-level anti-entropy.
+const (
+	KindStatus         = "smr.status"
+	KindCatchupRequest = "smr.catchup_req"
+	KindCatchupReply   = "smr.catchup_reply"
+)
+
+// Status is the periodic applied-index gossip: each replica announces how
+// many log slots it has applied, so lagging peers discover the gap and ask
+// for a snapshot.
+type Status struct {
+	Applied int `json:"applied"`
+}
+
+// CatchupRequest asks a peer for state newer than From applied slots.
+type CatchupRequest struct {
+	From int `json:"from"`
+}
+
+// CatchupReply carries a state snapshot: the full store as of Applied
+// applied slots. Installing it replaces the receiver's store and lets it
+// skip every slot below Applied.
+type CatchupReply struct {
+	Applied int               `json:"applied"`
+	Store   map[string]string `json:"store"`
+}
+
+// Kind implements consensus.Message.
+func (Status) Kind() string { return KindStatus }
+
+// Kind implements consensus.Message.
+func (CatchupRequest) Kind() string { return KindCatchupRequest }
+
+// Kind implements consensus.Message.
+func (CatchupReply) Kind() string { return KindCatchupReply }
+
+// registerCatchupMessages is folded into RegisterMessages (replica.go).
+func registerCatchupMessages(codec *consensus.Codec) {
+	codec.MustRegister(KindStatus, func() consensus.Message { return &Status{} })
+	codec.MustRegister(KindCatchupRequest, func() consensus.Message { return &CatchupRequest{} })
+	codec.MustRegister(KindCatchupReply, func() consensus.Message { return &CatchupReply{} })
+}
+
+// snapshotJSON serializes a replica state snapshot (exported via
+// (*Replica).SnapshotJSON for external persistence).
+type replicaSnapshot struct {
+	Applied int               `json:"applied"`
+	Store   map[string]string `json:"store"`
+}
+
+func encodeSnapshot(applied int, store map[string]string) ([]byte, error) {
+	cp := make(map[string]string, len(store))
+	for k, v := range store {
+		cp[k] = v
+	}
+	return json.Marshal(replicaSnapshot{Applied: applied, Store: cp})
+}
+
+func decodeSnapshot(data []byte) (int, map[string]string, error) {
+	var s replicaSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return 0, nil, err
+	}
+	if s.Store == nil {
+		s.Store = make(map[string]string)
+	}
+	return s.Applied, s.Store, nil
+}

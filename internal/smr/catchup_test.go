@@ -1,0 +1,175 @@
+package smr_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+)
+
+// gate drops inbound traffic to a replica while closed, simulating a
+// network partition of one member.
+type gate struct {
+	mu    sync.Mutex
+	open  bool
+	inner transport.Handler
+}
+
+func (g *gate) handle(from consensus.ProcessID, msg consensus.Message) {
+	g.mu.Lock()
+	open := g.open
+	g.mu.Unlock()
+	if open {
+		g.inner(from, msg)
+	}
+}
+
+func (g *gate) setOpen(open bool) {
+	g.mu.Lock()
+	g.open = open
+	g.mu.Unlock()
+}
+
+func TestLaggingReplicaCatchesUpViaSnapshot(t *testing.T) {
+	const n, f, e = 3, 1, 1
+	mesh := transport.NewMesh(n)
+	defer mesh.Close()
+
+	replicas := make([]*smr.Replica, n)
+	var lagGate gate
+	for i := 0; i < n; i++ {
+		cfg := consensus.Config{ID: consensus.ProcessID(i), N: n, F: f, E: e, Delta: 10}
+		r, err := smr.NewReplica(cfg, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handler := transport.Handler(r.Handle)
+		if i == 2 {
+			lagGate.inner = r.Handle
+			handler = lagGate.handle
+		}
+		tr, err := mesh.Endpoint(cfg.ID, handler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.BindTransport(tr)
+		replicas[i] = r
+	}
+	for _, r := range replicas {
+		r.Start()
+		defer r.Close()
+	}
+
+	// Partition replica 2, then commit a batch of writes through p0.
+	lagGate.setOpen(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	const writes = 12
+	for i := 0; i < writes; i++ {
+		if err := kv.Put(ctx, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if replicas[2].Applied() != 0 {
+		t.Fatalf("partitioned replica applied %d slots", replicas[2].Applied())
+	}
+
+	// Compact the healthy replicas below their applied index, so replica
+	// 2 cannot recover slot by slot — only via snapshot.
+	if floor := replicas[0].Compact(0); floor != replicas[0].Applied() {
+		t.Fatalf("compact floor = %d, want %d", floor, replicas[0].Applied())
+	}
+	replicas[1].Compact(0)
+
+	// Heal the partition; the status gossip announces the healthy applied
+	// index and replica 2 installs a snapshot.
+	lagGate.setOpen(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for replicas[2].Applied() < writes {
+		if time.Now().After(deadline) {
+			t.Fatalf("lagging replica stuck at %d/%d applied", replicas[2].Applied(), writes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < writes; i++ {
+		if v, ok := replicas[2].Get(fmt.Sprintf("k%d", i)); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q ok=%v after catch-up", i, v, ok)
+		}
+	}
+
+	// And the caught-up replica can serve writes again.
+	kv2 := smr.NewKV(replicas[2])
+	if err := kv2.Put(ctx, "after", "catchup"); err != nil {
+		t.Fatalf("write through caught-up replica: %v", err)
+	}
+	if v, _ := kv2.Get("after"); v != "catchup" {
+		t.Fatalf("after = %q", v)
+	}
+}
+
+func TestSnapshotExportInstall(t *testing.T) {
+	replicas, cleanup := startCluster(t, 3, 1, 1)
+	defer cleanup()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	if err := kv.Put(ctx, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := replicas[0].SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A detached replica (not started, no transport) installs the export.
+	cfg := consensus.Config{ID: 0, N: 3, F: 1, E: 1, Delta: 10}
+	fresh, err := smr.NewReplica(cfg, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.InstallSnapshotJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fresh.Get("a"); !ok || v != "1" {
+		t.Fatalf("restored Get(a) = %q ok=%v", v, ok)
+	}
+	if fresh.Applied() != replicas[0].Applied() {
+		t.Fatalf("applied %d != %d", fresh.Applied(), replicas[0].Applied())
+	}
+	if err := fresh.InstallSnapshotJSON([]byte("{bad")); err == nil {
+		t.Fatal("bad snapshot accepted")
+	}
+}
+
+func TestCompactKeepsRetainedWindow(t *testing.T) {
+	replicas, cleanup := startCluster(t, 3, 1, 1)
+	defer cleanup()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	for i := 0; i < 5; i++ {
+		if err := kv.Put(ctx, fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	applied := replicas[0].Applied()
+	floor := replicas[0].Compact(2)
+	if floor != applied-2 {
+		t.Fatalf("floor = %d, want %d", floor, applied-2)
+	}
+	if _, ok := replicas[0].LogValue(floor - 1); ok {
+		t.Fatal("compacted slot still in log")
+	}
+	if _, ok := replicas[0].LogValue(applied - 1); !ok {
+		t.Fatal("retained slot missing from log")
+	}
+	// Compacting backwards is a no-op.
+	if got := replicas[0].Compact(100); got != floor {
+		t.Fatalf("floor moved backwards: %d", got)
+	}
+}

@@ -1,0 +1,147 @@
+package smr
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client errors, matchable with errors.Is.
+var (
+	ErrNoProxies = errors.New("smr client: no reachable proxy")
+	ErrNotFound  = errors.New("smr client: key not found")
+)
+
+// Client talks the Server line protocol and fails over between proxies: it
+// sticks to one replica (its proxy, in the paper's sense) while that
+// replica answers, and rotates to the next address when it stops.
+type Client struct {
+	addrs   []string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	cur  int
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+// NewClient builds a client over the given proxy addresses.
+func NewClient(addrs []string, opTimeout time.Duration) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoProxies
+	}
+	if opTimeout <= 0 {
+		opTimeout = 30 * time.Second
+	}
+	return &Client{addrs: addrs, timeout: opTimeout}, nil
+}
+
+// Put replicates a write through the current proxy.
+func (c *Client) Put(key, val string) error {
+	reply, err := c.roundTrip(fmt.Sprintf("PUT %s %s", key, val))
+	if err != nil {
+		return err
+	}
+	if reply != "OK" {
+		return fmt.Errorf("smr client: %s", reply)
+	}
+	return nil
+}
+
+// Get reads a key through the current proxy.
+func (c *Client) Get(key string) (string, error) {
+	reply, err := c.roundTrip("GET " + key)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case strings.HasPrefix(reply, "VAL "):
+		return strings.TrimPrefix(reply, "VAL "), nil
+	case reply == "NONE":
+		return "", ErrNotFound
+	default:
+		return "", fmt.Errorf("smr client: %s", reply)
+	}
+}
+
+// Delete removes a key through the current proxy.
+func (c *Client) Delete(key string) error {
+	reply, err := c.roundTrip("DEL " + key)
+	if err != nil {
+		return err
+	}
+	if reply != "OK" {
+		return fmt.Errorf("smr client: %s", reply)
+	}
+	return nil
+}
+
+// Proxy returns the address of the proxy currently in use.
+func (c *Client) Proxy() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addrs[c.cur]
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// roundTrip sends one line and reads one reply, failing over across proxies
+// (each tried once per operation).
+func (c *Client) roundTrip(line string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error = ErrNoProxies
+	for attempt := 0; attempt < len(c.addrs); attempt++ {
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.addrs[c.cur], c.timeout)
+			if err != nil {
+				lastErr = err
+				c.rotateLocked()
+				continue
+			}
+			c.conn = conn
+			c.rd = bufio.NewReader(conn)
+		}
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		if _, err := fmt.Fprintln(c.conn, line); err != nil {
+			lastErr = err
+			c.dropLocked()
+			continue
+		}
+		reply, err := c.rd.ReadString('\n')
+		if err != nil {
+			lastErr = err
+			c.dropLocked()
+			continue
+		}
+		return strings.TrimRight(reply, "\r\n"), nil
+	}
+	return "", fmt.Errorf("smr client: all proxies failed: %w", lastErr)
+}
+
+// dropLocked closes the current connection and rotates to the next proxy.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.rotateLocked()
+}
+
+func (c *Client) rotateLocked() {
+	c.cur = (c.cur + 1) % len(c.addrs)
+}

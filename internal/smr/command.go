@@ -1,0 +1,80 @@
+// Package smr builds state-machine replication on top of the paper's
+// consensus protocol: an unbounded log of consensus instances (one per
+// slot), each running the object-mode protocol of internal/core, plus a
+// replicated key-value store applied from the log. This is the practical
+// setting the paper's introduction appeals to: a client submits its command
+// to one replica — the proxy — and the proxy answers as soon as it decides,
+// which is why the proxy's two-step latency is what matters (and why the
+// paper relaxes Lamport's definition the way it does).
+package smr
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/consensus"
+)
+
+// Op enumerates the commands the replicated store understands.
+type Op string
+
+// Store operations.
+const (
+	OpPut    Op = "put"
+	OpDelete Op = "delete"
+	OpNoop   Op = "noop"
+	// OpBatch groups several commands decided in one consensus instance;
+	// Subs carries them, applied in order.
+	OpBatch Op = "batch"
+)
+
+// Command is one state-machine command.
+type Command struct {
+	// ID uniquely identifies the command (proxy id + sequence).
+	ID string `json:"id"`
+	// Op is the operation.
+	Op Op `json:"op"`
+	// Key and Val are the operands (Val unused for delete/noop/batch).
+	Key string `json:"key,omitempty"`
+	Val string `json:"val,omitempty"`
+	// Subs are the batched commands when Op is OpBatch.
+	Subs []Command `json:"subs,omitempty"`
+}
+
+// Encode packs the command into a consensus value: the ordering key is a
+// hash of the command ID (ties broken by the serialized payload, keeping
+// the order total), the payload is the JSON encoding.
+func (c Command) Encode() (consensus.Value, error) {
+	body, err := json.Marshal(c)
+	if err != nil {
+		return consensus.None, fmt.Errorf("smr: encode command: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(c.ID))
+	// Clear the top bit so the key stays well above consensus.None.
+	key := int64(h.Sum64() >> 1)
+	return consensus.Value{Key: key, Data: string(body)}, nil
+}
+
+// DecodeCommand unpacks a consensus value produced by Encode.
+func DecodeCommand(v consensus.Value) (Command, error) {
+	var c Command
+	if err := json.Unmarshal([]byte(v.Data), &c); err != nil {
+		return Command{}, fmt.Errorf("smr: decode command: %w", err)
+	}
+	return c, nil
+}
+
+// Equal compares commands structurally (Subs included).
+func (c Command) Equal(o Command) bool {
+	if c.ID != o.ID || c.Op != o.Op || c.Key != o.Key || c.Val != o.Val || len(c.Subs) != len(o.Subs) {
+		return false
+	}
+	for i := range c.Subs {
+		if !c.Subs[i].Equal(o.Subs[i]) {
+			return false
+		}
+	}
+	return true
+}

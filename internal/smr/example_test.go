@@ -1,0 +1,55 @@
+package smr_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+)
+
+// Example boots a three-replica key-value store on the in-process mesh and
+// performs a replicated write followed by a linearizable read through a
+// different proxy.
+func Example() {
+	const n, f, e = 3, 1, 1
+	mesh := transport.NewMesh(n)
+	defer mesh.Close()
+
+	replicas := make([]*smr.Replica, n)
+	for i := 0; i < n; i++ {
+		cfg := consensus.Config{ID: consensus.ProcessID(i), N: n, F: f, E: e, Delta: 10}
+		r, err := smr.NewReplica(cfg, time.Millisecond)
+		if err != nil {
+			panic(err)
+		}
+		tr, err := mesh.Endpoint(cfg.ID, r.Handle)
+		if err != nil {
+			panic(err)
+		}
+		r.BindTransport(tr)
+		replicas[i] = r
+	}
+	for _, r := range replicas {
+		r.Start()
+		defer r.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	writer := smr.NewKV(replicas[0])
+	if err := writer.Put(ctx, "venue", "Huatulco"); err != nil {
+		panic(err)
+	}
+	reader := smr.NewKV(replicas[2])
+	v, ok, err := reader.GetLinearizable(ctx, "venue")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("venue=%s ok=%v\n", v, ok)
+	// Output:
+	// venue=Huatulco ok=true
+}

@@ -1,0 +1,72 @@
+package smr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// KV is the client-facing API of the replicated key-value store, bound to
+// one replica acting as this client's proxy (Schneider's SMR pattern, as in
+// the paper's introduction).
+type KV struct {
+	proxy *Replica
+}
+
+// NewKV wraps a replica as a key-value client.
+func NewKV(proxy *Replica) *KV { return &KV{proxy: proxy} }
+
+// Put replicates a write and returns once it is decided and applied at the
+// proxy.
+func (kv *KV) Put(ctx context.Context, key, val string) error {
+	return kv.execute(ctx, Command{Op: OpPut, Key: key, Val: val})
+}
+
+// Delete replicates a deletion.
+func (kv *KV) Delete(ctx context.Context, key string) error {
+	return kv.execute(ctx, Command{Op: OpDelete, Key: key})
+}
+
+// PutAll replicates several writes atomically: they occupy one log slot (an
+// OpBatch command), so every replica applies either all of them or none,
+// with no interleaved foreign writes.
+func (kv *KV) PutAll(ctx context.Context, kvs map[string]string) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(kvs))
+	for k := range kvs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic encoding
+	subs := make([]Command, 0, len(kvs))
+	for i, k := range keys {
+		subs = append(subs, Command{ID: fmt.Sprintf("sub-%d", i), Op: OpPut, Key: k, Val: kvs[k]})
+	}
+	return kv.execute(ctx, Command{Op: OpBatch, Subs: subs})
+}
+
+func (kv *KV) execute(ctx context.Context, cmd Command) error {
+	return kv.proxy.Submit(ctx, cmd)
+}
+
+// Get reads from the proxy's applied state. Reads are served locally and
+// reflect every write this client performed through the same proxy (the
+// proxy applies a slot before acknowledging it). Reads of other clients'
+// writes may lag; use GetLinearizable for a read that observes every write
+// acknowledged anywhere before it started.
+func (kv *KV) Get(key string) (string, bool) {
+	return kv.proxy.Get(key)
+}
+
+// GetLinearizable performs a linearizable read: it replicates a no-op
+// command through consensus and reads the local state after applying up to
+// that command's slot. Any write acknowledged before this call started
+// occupies an earlier slot and is therefore visible.
+func (kv *KV) GetLinearizable(ctx context.Context, key string) (string, bool, error) {
+	if err := kv.execute(ctx, Command{Op: OpNoop}); err != nil {
+		return "", false, err
+	}
+	v, ok := kv.proxy.Get(key)
+	return v, ok, nil
+}

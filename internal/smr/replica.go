@@ -1,0 +1,693 @@
+package smr
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/omega"
+	"repro/internal/transport"
+)
+
+// ErrClosed is returned by operations on a closed replica.
+var ErrClosed = errors.New("smr: replica closed")
+
+// KindSlot is the wire kind of slot-wrapped consensus traffic.
+const KindSlot = "smr.slot"
+
+// SlotMessage carries one core-protocol message for one log slot.
+type SlotMessage struct {
+	Slot      int             `json:"slot"`
+	InnerKind string          `json:"innerKind"`
+	InnerBody json.RawMessage `json:"innerBody"`
+}
+
+// Kind implements consensus.Message.
+func (SlotMessage) Kind() string { return KindSlot }
+
+// RegisterMessages registers the smr (and required inner) kinds with codec.
+func RegisterMessages(codec *consensus.Codec) {
+	codec.MustRegister(KindSlot, func() consensus.Message { return &SlotMessage{} })
+	registerCatchupMessages(codec)
+	omega.RegisterMessages(codec)
+}
+
+// innerCodec decodes slot-wrapped core messages.
+func innerCodec() *consensus.Codec {
+	c := consensus.NewCodec()
+	core.RegisterMessages(c)
+	return c
+}
+
+// Replica is one member of the replicated state machine. It hosts an Ω
+// detector and one object-mode core consensus instance per log slot, and
+// applies decided commands to a key-value store in slot order.
+type Replica struct {
+	cfg   consensus.Config
+	tick  time.Duration
+	inner *consensus.Codec
+
+	mu       sync.Mutex
+	tr       transport.Transport
+	det      *omega.Detector
+	slots    map[int]*core.Node
+	log      map[int]consensus.Value
+	applied  int
+	store    map[string]string
+	waiters  map[int][]chan consensus.Value
+	appliedW map[int][]chan struct{}
+	gens     map[string]int64
+	timers   map[string]*time.Timer
+	seq      int64
+	closed   bool
+
+	// Anti-entropy state: the largest applied index any peer announced,
+	// and the compaction floor below which slot instances and log entries
+	// have been discarded (stragglers there are served snapshots).
+	maxSeenApplied int
+	compactFloor   int
+
+	// batch, when non-nil, groups Submit traffic into OpBatch commands.
+	batch *batcher
+}
+
+// NewReplica builds a replica. Call BindTransport, then Start.
+func NewReplica(cfg consensus.Config, tick time.Duration) (*Replica, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("smr: %w", err)
+	}
+	return &Replica{
+		cfg:      cfg,
+		tick:     tick,
+		inner:    innerCodec(),
+		det:      omega.New(cfg, 0),
+		slots:    make(map[int]*core.Node),
+		log:      make(map[int]consensus.Value),
+		store:    make(map[string]string),
+		waiters:  make(map[int][]chan consensus.Value),
+		appliedW: make(map[int][]chan struct{}),
+		gens:     make(map[string]int64),
+		timers:   make(map[string]*time.Timer),
+	}, nil
+}
+
+// BindTransport installs the transport (which should deliver to Handle).
+func (r *Replica) BindTransport(tr transport.Transport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tr = tr
+}
+
+// Start boots the Ω detector and the status gossip. Slots start lazily on
+// first touch.
+func (r *Replica) Start() {
+	r.mu.Lock()
+	out := r.applyDetectorLocked(r.det.Start())
+	r.scheduleStatusLocked()
+	r.mu.Unlock()
+	r.flush(out)
+}
+
+// statusPeriod is the applied-index gossip period, in protocol ticks.
+func (r *Replica) statusPeriod() time.Duration {
+	return time.Duration(5*r.cfg.Delta) * r.tick
+}
+
+// scheduleStatusLocked (re)arms the periodic status broadcast.
+func (r *Replica) scheduleStatusLocked() {
+	const key = "smr/status"
+	r.gens[key]++
+	gen := r.gens[key]
+	if t, ok := r.timers[key]; ok {
+		t.Stop()
+	}
+	r.timers[key] = time.AfterFunc(r.statusPeriod(), func() {
+		r.mu.Lock()
+		if r.closed || r.gens[key] != gen {
+			r.mu.Unlock()
+			return
+		}
+		applied := r.applied
+		r.scheduleStatusLocked()
+		r.mu.Unlock()
+		var out []outbound
+		for i := 0; i < r.cfg.N; i++ {
+			if p := consensus.ProcessID(i); p != r.cfg.ID {
+				out = append(out, outbound{to: p, msg: &Status{Applied: applied}})
+			}
+		}
+		r.flush(out)
+	})
+}
+
+// Handle is the transport handler.
+func (r *Replica) Handle(from consensus.ProcessID, msg consensus.Message) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	var out []outbound
+	switch m := msg.(type) {
+	case *SlotMessage:
+		if m.Slot < r.compactFloor {
+			// The sender is working below our compaction floor: the
+			// slot's instance is gone, but our snapshot covers it.
+			out = r.catchupReplyLocked(from)
+			break
+		}
+		if m.Slot > r.maxSeenApplied {
+			r.maxSeenApplied = m.Slot
+		}
+		inner, err := r.inner.Decode(mustWire(m.InnerKind, m.InnerBody))
+		if err == nil {
+			node := r.slotLocked(m.Slot)
+			out = r.applySlotLocked(m.Slot, node, node.Deliver(from, inner))
+		}
+	case *Status:
+		if m.Applied > r.maxSeenApplied {
+			r.maxSeenApplied = m.Applied
+		}
+		if m.Applied > r.applied {
+			out = []outbound{{to: from, msg: &CatchupRequest{From: r.applied}}}
+		}
+	case *CatchupRequest:
+		if r.applied > m.From {
+			out = r.catchupReplyLocked(from)
+		}
+	case *CatchupReply:
+		out = r.installSnapshotLocked(m.Applied, m.Store)
+	default:
+		out = r.applyDetectorLocked(r.det.Deliver(from, msg))
+	}
+	r.mu.Unlock()
+	r.flush(out)
+}
+
+// catchupReplyLocked builds a snapshot reply for a lagging peer.
+func (r *Replica) catchupReplyLocked(to consensus.ProcessID) []outbound {
+	store := make(map[string]string, len(r.store))
+	for k, v := range r.store {
+		store[k] = v
+	}
+	return []outbound{{to: to, msg: &CatchupReply{Applied: r.applied, Store: store}}}
+}
+
+// installSnapshotLocked adopts a peer's snapshot if it is ahead of us:
+// the store replaces ours, slots below the snapshot's applied index are
+// discarded, and their waiters are told to retry.
+func (r *Replica) installSnapshotLocked(applied int, store map[string]string) []outbound {
+	if applied <= r.applied {
+		return nil
+	}
+	r.store = make(map[string]string, len(store))
+	for k, v := range store {
+		r.store[k] = v
+	}
+	r.applied = applied
+	if applied > r.maxSeenApplied {
+		r.maxSeenApplied = applied
+	}
+	// Discard superseded slot instances and their timers.
+	for slot := range r.slots {
+		if slot < applied {
+			r.dropSlotLocked(slot)
+		}
+	}
+	for slot := range r.log {
+		if slot < applied {
+			delete(r.log, slot)
+		}
+	}
+	// Waiters on superseded slots cannot learn their slot's value from
+	// us anymore; ⊥ tells Execute to retry in a fresh slot.
+	for slot, chs := range r.waiters {
+		if slot < applied {
+			for _, ch := range chs {
+				ch <- consensus.None
+			}
+			delete(r.waiters, slot)
+		}
+	}
+	for slot, chs := range r.appliedW {
+		if slot < applied {
+			for _, ch := range chs {
+				close(ch)
+			}
+			delete(r.appliedW, slot)
+		}
+	}
+	return nil
+}
+
+// dropSlotLocked removes a slot instance and cancels its timer.
+func (r *Replica) dropSlotLocked(slot int) {
+	delete(r.slots, slot)
+	key := timerKey(slot, core.TimerNewBallot)
+	r.gens[key]++
+	if t, ok := r.timers[key]; ok {
+		t.Stop()
+		delete(r.timers, key)
+	}
+}
+
+// Submit replicates cmd and returns once it is decided and applied at this
+// replica. When batching is enabled (EnableBatching) concurrent Submits are
+// grouped into one consensus instance.
+func (r *Replica) Submit(ctx context.Context, cmd Command) error {
+	r.mu.Lock()
+	if cmd.ID == "" {
+		r.seq++
+		cmd.ID = fmt.Sprintf("%s-%d", r.cfg.ID, r.seq)
+	}
+	b := r.batch
+	r.mu.Unlock()
+	if b != nil && cmd.Op != OpBatch {
+		return b.executeBatched(ctx, cmd)
+	}
+	slot, err := r.Execute(ctx, cmd)
+	if err != nil {
+		return err
+	}
+	return r.WaitApplied(ctx, slot)
+}
+
+// Execute proposes cmd and blocks until a slot decides it, returning the
+// slot index. It retries in subsequent slots when a competing command wins.
+func (r *Replica) Execute(ctx context.Context, cmd Command) (int, error) {
+	if cmd.ID == "" {
+		r.mu.Lock()
+		r.seq++
+		cmd.ID = fmt.Sprintf("%s-%d", r.cfg.ID, r.seq)
+		r.mu.Unlock()
+	}
+	want, err := cmd.Encode()
+	if err != nil {
+		return 0, err
+	}
+	slot := -1
+	for {
+		var (
+			ch  chan consensus.Value
+			out []outbound
+		)
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return 0, ErrClosed
+		}
+		slot = r.nextFreeSlotLocked(slot)
+		if v, decided := r.log[slot]; decided {
+			r.mu.Unlock()
+			if v == want {
+				return slot, nil
+			}
+			continue
+		}
+		node := r.slotLocked(slot)
+		out = r.applySlotLocked(slot, node, node.Propose(want))
+		ch = make(chan consensus.Value, 1)
+		r.waiters[slot] = append(r.waiters[slot], ch)
+		r.mu.Unlock()
+		r.flush(out)
+
+		select {
+		case v := <-ch:
+			if v == want {
+				return slot, nil
+			}
+			// A competing command won this slot; try the next.
+		case <-ctx.Done():
+			return 0, fmt.Errorf("smr execute: %w", ctx.Err())
+		}
+	}
+}
+
+// nextFreeSlotLocked returns the smallest slot after prev this replica has
+// not yet seen decided.
+func (r *Replica) nextFreeSlotLocked(prev int) int {
+	s := prev + 1
+	if s < r.applied {
+		s = r.applied
+	}
+	for {
+		if _, decided := r.log[s]; !decided {
+			return s
+		}
+		s++
+	}
+}
+
+// Get reads a key from the local (applied) store state.
+func (r *Replica) Get(key string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.store[key]
+	return v, ok
+}
+
+// Applied returns the number of log slots applied to the store.
+func (r *Replica) Applied() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// LogValue returns the decided value of a slot, if any (compacted slots
+// report false).
+func (r *Replica) LogValue(slot int) (consensus.Value, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.log[slot]
+	return v, ok
+}
+
+// Compact discards slot instances and log entries below applied−retain and
+// raises the compaction floor: stragglers below it are served snapshots
+// instead of per-slot messages. Returns the new floor.
+func (r *Replica) Compact(retain int) int {
+	if retain < 0 {
+		retain = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	floor := r.applied - retain
+	if floor <= r.compactFloor {
+		return r.compactFloor
+	}
+	r.compactFloor = floor
+	for slot := range r.slots {
+		if slot < floor {
+			r.dropSlotLocked(slot)
+		}
+	}
+	for slot := range r.log {
+		if slot < floor {
+			delete(r.log, slot)
+		}
+	}
+	return floor
+}
+
+// CompactFloor returns the current compaction floor.
+func (r *Replica) CompactFloor() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.compactFloor
+}
+
+// SnapshotJSON exports the replica's applied state (for external backup).
+func (r *Replica) SnapshotJSON() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return encodeSnapshot(r.applied, r.store)
+}
+
+// InstallSnapshotJSON installs a previously exported state if it is ahead
+// of the replica's own.
+func (r *Replica) InstallSnapshotJSON(data []byte) error {
+	applied, store, err := decodeSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("smr install snapshot: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.installSnapshotLocked(applied, store)
+	return nil
+}
+
+// Close stops timers and closes the transport.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for _, t := range r.timers {
+		t.Stop()
+	}
+	for _, chs := range r.waiters {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}
+	r.waiters = make(map[int][]chan consensus.Value)
+	for _, chs := range r.appliedW {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}
+	r.appliedW = make(map[int][]chan struct{})
+	tr := r.tr
+	b := r.batch
+	r.mu.Unlock()
+	if b != nil {
+		b.close()
+	}
+	if tr != nil {
+		return tr.Close()
+	}
+	return nil
+}
+
+// slotLocked returns (starting if needed) the consensus instance for slot.
+func (r *Replica) slotLocked(slot int) *core.Node {
+	if node, ok := r.slots[slot]; ok {
+		return node
+	}
+	node := core.NewUnchecked(r.cfg, core.ModeObject, core.DefaultOptions(), r.det)
+	r.slots[slot] = node
+	// Start the instance: its effects (the new-ballot timer) are applied
+	// immediately; any sends it might produce are flushed by the caller.
+	r.applyTimersOnlyLocked(slot, node, node.Start())
+	return node
+}
+
+// outbound is a deferred transport send.
+type outbound struct {
+	to  consensus.ProcessID
+	msg consensus.Message
+}
+
+// applySlotLocked interprets a slot instance's effects.
+func (r *Replica) applySlotLocked(slot int, node *core.Node, effects []consensus.Effect) []outbound {
+	var out []outbound
+	for _, eff := range effects {
+		switch eff := eff.(type) {
+		case consensus.Send:
+			out = append(out, r.slotSendLocked(slot, node, eff.To, eff.Msg)...)
+		case consensus.Broadcast:
+			for i := 0; i < r.cfg.N; i++ {
+				to := consensus.ProcessID(i)
+				if to == r.cfg.ID && !eff.Self {
+					continue
+				}
+				out = append(out, r.slotSendLocked(slot, node, to, eff.Msg)...)
+			}
+		case consensus.StartTimer:
+			r.startSlotTimerLocked(slot, node, eff)
+		case consensus.StopTimer:
+			r.gens[timerKey(slot, eff.Timer)]++
+		case consensus.Decide:
+			out = append(out, r.decideLocked(slot, eff.Value)...)
+		}
+	}
+	return out
+}
+
+// applyTimersOnlyLocked applies Start effects (timers only; Start sends
+// nothing in the core protocol).
+func (r *Replica) applyTimersOnlyLocked(slot int, node *core.Node, effects []consensus.Effect) {
+	for _, eff := range effects {
+		if st, ok := eff.(consensus.StartTimer); ok {
+			r.startSlotTimerLocked(slot, node, st)
+		}
+	}
+}
+
+// slotSendLocked wraps and routes one slot message; self-addressed messages
+// are delivered inline.
+func (r *Replica) slotSendLocked(slot int, node *core.Node, to consensus.ProcessID, msg consensus.Message) []outbound {
+	if to == r.cfg.ID {
+		return r.applySlotLocked(slot, node, node.Deliver(r.cfg.ID, msg))
+	}
+	wire, err := r.inner.Encode(msg)
+	if err != nil {
+		return nil
+	}
+	var w struct {
+		Kind string          `json:"kind"`
+		Body json.RawMessage `json:"body"`
+	}
+	if err := json.Unmarshal(wire, &w); err != nil {
+		return nil
+	}
+	return []outbound{{to: to, msg: &SlotMessage{Slot: slot, InnerKind: w.Kind, InnerBody: w.Body}}}
+}
+
+// decideLocked records a slot decision, applies ready commands, and wakes
+// waiters.
+func (r *Replica) decideLocked(slot int, v consensus.Value) []outbound {
+	if _, dup := r.log[slot]; dup {
+		return nil
+	}
+	r.log[slot] = v
+	for {
+		next, ok := r.log[r.applied]
+		if !ok {
+			break
+		}
+		r.applyCommandLocked(next)
+		r.applied++
+	}
+	for _, ch := range r.waiters[slot] {
+		ch <- v
+	}
+	delete(r.waiters, slot)
+	for s, chs := range r.appliedW {
+		if s < r.applied {
+			for _, ch := range chs {
+				close(ch)
+			}
+			delete(r.appliedW, s)
+		}
+	}
+	return nil
+}
+
+// WaitApplied blocks until the given slot has been applied to the store.
+func (r *Replica) WaitApplied(ctx context.Context, slot int) error {
+	r.mu.Lock()
+	if slot < r.applied {
+		r.mu.Unlock()
+		return nil
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	ch := make(chan struct{})
+	r.appliedW[slot] = append(r.appliedW[slot], ch)
+	r.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("smr wait applied: %w", ctx.Err())
+	}
+}
+
+// applyCommandLocked applies one decided command to the store.
+func (r *Replica) applyCommandLocked(v consensus.Value) {
+	cmd, err := DecodeCommand(v)
+	if err != nil {
+		return // unparseable command: treated as a no-op
+	}
+	r.applyDecodedLocked(cmd)
+}
+
+func (r *Replica) applyDecodedLocked(cmd Command) {
+	switch cmd.Op {
+	case OpPut:
+		r.store[cmd.Key] = cmd.Val
+	case OpDelete:
+		delete(r.store, cmd.Key)
+	case OpBatch:
+		for _, sub := range cmd.Subs {
+			r.applyDecodedLocked(sub)
+		}
+	}
+}
+
+// applyDetectorLocked interprets the Ω detector's effects.
+func (r *Replica) applyDetectorLocked(effects []consensus.Effect) []outbound {
+	var out []outbound
+	for _, eff := range effects {
+		switch eff := eff.(type) {
+		case consensus.Send:
+			if eff.To != r.cfg.ID {
+				out = append(out, outbound{to: eff.To, msg: eff.Msg})
+			}
+		case consensus.Broadcast:
+			for i := 0; i < r.cfg.N; i++ {
+				to := consensus.ProcessID(i)
+				if to == r.cfg.ID {
+					continue
+				}
+				out = append(out, outbound{to: to, msg: eff.Msg})
+			}
+		case consensus.StartTimer:
+			r.startDetectorTimerLocked(eff)
+		}
+	}
+	return out
+}
+
+func timerKey(slot int, t consensus.TimerID) string {
+	return fmt.Sprintf("s%d/%s", slot, t)
+}
+
+func (r *Replica) startSlotTimerLocked(slot int, node *core.Node, eff consensus.StartTimer) {
+	key := timerKey(slot, eff.Timer)
+	r.gens[key]++
+	gen := r.gens[key]
+	if t, ok := r.timers[key]; ok {
+		t.Stop()
+	}
+	r.timers[key] = time.AfterFunc(time.Duration(eff.After)*r.tick, func() {
+		r.mu.Lock()
+		if r.closed || r.gens[key] != gen {
+			r.mu.Unlock()
+			return
+		}
+		out := r.applySlotLocked(slot, node, node.Tick(eff.Timer))
+		r.mu.Unlock()
+		r.flush(out)
+	})
+}
+
+func (r *Replica) startDetectorTimerLocked(eff consensus.StartTimer) {
+	key := "omega/" + string(eff.Timer)
+	r.gens[key]++
+	gen := r.gens[key]
+	if t, ok := r.timers[key]; ok {
+		t.Stop()
+	}
+	r.timers[key] = time.AfterFunc(time.Duration(eff.After)*r.tick, func() {
+		r.mu.Lock()
+		if r.closed || r.gens[key] != gen {
+			r.mu.Unlock()
+			return
+		}
+		out := r.applyDetectorLocked(r.det.Tick(eff.Timer))
+		r.mu.Unlock()
+		r.flush(out)
+	})
+}
+
+func (r *Replica) flush(out []outbound) {
+	r.mu.Lock()
+	tr := r.tr
+	r.mu.Unlock()
+	if tr == nil {
+		return
+	}
+	for _, o := range out {
+		_ = tr.Send(o.to, o.msg)
+	}
+}
+
+// mustWire re-assembles the codec wire form from kind and body.
+func mustWire(kind string, body json.RawMessage) []byte {
+	w, _ := json.Marshal(struct {
+		Kind string          `json:"kind"`
+		Body json.RawMessage `json:"body"`
+	}{Kind: kind, Body: body})
+	return w
+}

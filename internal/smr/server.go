@@ -1,0 +1,148 @@
+package smr
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server exposes a replica to clients over a line-oriented TCP protocol:
+//
+//	PUT <key> <value...>  →  OK
+//	GET <key>             →  VAL <value>  |  NONE
+//	DEL <key>             →  OK
+//	PING                  →  PONG
+//
+// Errors answer "ERR <reason>". One command per line; responses are single
+// lines. GET is served from the replica's applied state (see KV.Get for the
+// consistency discussion); writes return after the command is decided AND
+// applied at this replica.
+type Server struct {
+	replica *Replica
+	ln      net.Listener
+	timeout time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving clients of replica on addr.
+func NewServer(replica *Replica, addr string, opTimeout time.Duration) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("smr server: %w", err)
+	}
+	if opTimeout <= 0 {
+		opTimeout = 30 * time.Second
+	}
+	s := &Server{replica: replica, ln: ln, timeout: opTimeout, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	scanner := bufio.NewScanner(conn)
+	for scanner.Scan() {
+		reply := s.handleLine(scanner.Text())
+		if _, err := fmt.Fprintln(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// handleLine executes one command line and returns the response line.
+func (s *Server) handleLine(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty command"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
+	defer cancel()
+	kv := NewKV(s.replica)
+	switch strings.ToUpper(fields[0]) {
+	case "PING":
+		return "PONG"
+	case "GET":
+		if len(fields) != 2 {
+			return "ERR usage: GET <key>"
+		}
+		if v, ok := kv.Get(fields[1]); ok {
+			return "VAL " + v
+		}
+		return "NONE"
+	case "PUT":
+		if len(fields) < 3 {
+			return "ERR usage: PUT <key> <value>"
+		}
+		if err := kv.Put(ctx, fields[1], strings.Join(fields[2:], " ")); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "DEL":
+		if len(fields) != 2 {
+			return "ERR usage: DEL <key>"
+		}
+		if err := kv.Delete(ctx, fields[1]); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	default:
+		return "ERR unknown command " + fields[0]
+	}
+}

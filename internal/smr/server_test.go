@@ -1,0 +1,138 @@
+package smr_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/smr"
+)
+
+// startServedCluster boots a mesh cluster with a client-facing server per
+// replica and returns the server addresses.
+func startServedCluster(t *testing.T, n, f, e int) ([]string, []*smr.Server, func()) {
+	t.Helper()
+	replicas, cleanupReplicas := startCluster(t, n, f, e)
+	servers := make([]*smr.Server, n)
+	addrs := make([]string, n)
+	for i, r := range replicas {
+		srv, err := smr.NewServer(r, "127.0.0.1:0", 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	cleanup := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		cleanupReplicas()
+	}
+	return addrs, servers, cleanup
+}
+
+func TestClientServerPutGetDelete(t *testing.T) {
+	addrs, _, cleanup := startServedCluster(t, 5, 2, 2)
+	defer cleanup()
+
+	client, err := smr.NewClient(addrs, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Put("color", "teal"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := client.Get("color"); err != nil || got != "teal" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := client.Put("color", "dark teal"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := client.Get("color"); got != "dark teal" {
+		t.Fatalf("Get after overwrite = %q", got)
+	}
+	if err := client.Delete("color"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get("color"); !errors.Is(err, smr.ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestClientFailsOverWhenProxyDies(t *testing.T) {
+	addrs, servers, cleanup := startServedCluster(t, 5, 2, 2)
+	defer cleanup()
+
+	client, err := smr.NewClient(addrs, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Put("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	first := client.Proxy()
+
+	// Kill the proxy the client is attached to; its replica keeps
+	// running (only the client listener dies), so consensus stays live
+	// and the client must fail over to another proxy.
+	for _, s := range servers {
+		if s.Addr() == first {
+			s.Close()
+		}
+	}
+	if err := client.Put("b", "2"); err != nil {
+		t.Fatalf("put after proxy death: %v", err)
+	}
+	if client.Proxy() == first {
+		t.Fatal("client did not rotate away from the dead proxy")
+	}
+	// Both writes visible through the new proxy (it applied both slots
+	// before acknowledging b).
+	if got, err := client.Get("b"); err != nil || got != "2" {
+		t.Fatalf("Get(b) = %q, %v", got, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got, err := client.Get("a"); err == nil && got == "1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write a never visible via new proxy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerProtocolErrors(t *testing.T) {
+	addrs, _, cleanup := startServedCluster(t, 3, 1, 1)
+	defer cleanup()
+	client, err := smr.NewClient(addrs[:1], 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Unknown key.
+	if _, err := client.Get("missing"); !errors.Is(err, smr.ErrNotFound) {
+		t.Fatalf("Get(missing) = %v", err)
+	}
+}
+
+func TestClientNoProxies(t *testing.T) {
+	if _, err := smr.NewClient(nil, time.Second); !errors.Is(err, smr.ErrNoProxies) {
+		t.Fatalf("NewClient(nil) = %v", err)
+	}
+	c, err := smr.NewClient([]string{"127.0.0.1:1"}, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", "v"); err == nil {
+		t.Fatal("Put with unreachable proxy succeeded")
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/consensus"
+)
+
+// Specification violations, matchable with errors.Is.
+var (
+	ErrAgreement    = errors.New("agreement violated")
+	ErrValidity     = errors.New("validity violated")
+	ErrTermination  = errors.New("termination violated")
+	ErrLinearizable = errors.New("linearizability violated")
+)
+
+// CheckAgreement verifies that no two processes decided different values.
+func (t *Trace) CheckAgreement() error {
+	vals := t.DecidedValues()
+	if len(vals) > 1 {
+		return fmt.Errorf("%w: decided values %v (decisions %v)", ErrAgreement, vals, t.decisionSummary())
+	}
+	return nil
+}
+
+// CheckValidity verifies that every decision is the proposal of some process.
+func (t *Trace) CheckValidity() error {
+	proposed := make(map[consensus.Value]struct{}, len(t.Proposals))
+	for _, p := range t.Proposals {
+		proposed[p.Value] = struct{}{}
+	}
+	for _, d := range t.Decisions {
+		if _, ok := proposed[d.Value]; !ok {
+			return fmt.Errorf("%w: %s decided %s which nobody proposed", ErrValidity, d.P, d.Value)
+		}
+	}
+	return nil
+}
+
+// CheckTermination verifies that every listed process decided.
+func (t *Trace) CheckTermination(required []consensus.ProcessID) error {
+	for _, p := range required {
+		if _, ok := t.Decisions[p]; !ok {
+			return fmt.Errorf("%w: %s never decided", ErrTermination, p)
+		}
+	}
+	return nil
+}
+
+// CheckTaskSpec verifies Validity, Agreement, and Termination for a
+// consensus task: every correct process must decide.
+func (t *Trace) CheckTaskSpec() error {
+	if err := t.CheckValidity(); err != nil {
+		return err
+	}
+	if err := t.CheckAgreement(); err != nil {
+		return err
+	}
+	return t.CheckTermination(t.Correct())
+}
+
+// CheckObjectSpec verifies the consensus-object specification: Validity,
+// Agreement, linearizability, and Termination restricted to correct
+// processes that actually invoked propose.
+func (t *Trace) CheckObjectSpec() error {
+	if err := t.CheckValidity(); err != nil {
+		return err
+	}
+	if err := t.CheckAgreement(); err != nil {
+		return err
+	}
+	if err := t.CheckLinearizable(); err != nil {
+		return err
+	}
+	var required []consensus.ProcessID
+	seen := make(map[consensus.ProcessID]struct{})
+	for _, p := range t.Proposals {
+		if _, dup := seen[p.P]; dup {
+			continue
+		}
+		seen[p.P] = struct{}{}
+		if !t.Crashed(p.P) {
+			required = append(required, p.P)
+		}
+	}
+	return t.CheckTermination(required)
+}
+
+// CheckLinearizable verifies the object-specific real-time condition: the
+// decided value must have been proposed by an invocation that began no later
+// than the first response (decision) completed. Otherwise no linearization
+// can place the winning propose before the first completed one.
+func (t *Trace) CheckLinearizable() error {
+	first, ok := t.FirstDecision()
+	if !ok {
+		return nil
+	}
+	for _, p := range t.Proposals {
+		if p.Value == first.Value && p.At <= first.At {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: value %s decided at t=%d was not proposed by any invocation starting by then",
+		ErrLinearizable, first.Value, first.At)
+}
+
+func (t *Trace) decisionSummary() string {
+	s := ""
+	for i := 0; i < t.N; i++ {
+		if d, ok := t.Decisions[consensus.ProcessID(i)]; ok {
+			s += fmt.Sprintf("%s=%s@%d ", d.P, d.Value, d.At)
+		}
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/consensus"
+)
+
+// flowEvent is one row of the rendered diagram.
+type flowEvent struct {
+	at   consensus.Time
+	prio int // proposals, then crashes, then messages, then decisions
+	text string
+}
+
+// WriteFlow renders the execution as a chronological message-flow listing:
+// proposals, crashes, message deliveries (requires KeepMessages to have
+// been set before the run) and decisions, grouped by round when delta > 0.
+//
+//	== round 1 (t in [0,10)) ==
+//	t=    0  p1 proposes v(5)
+//	== round 2 ==
+//	t=   10  p1 ──core.propose──▶ p0
+//	...
+//	t=   20  p1 ✔ DECIDES v(5)
+func (t *Trace) WriteFlow(w io.Writer, delta consensus.Duration) error {
+	events := make([]flowEvent, 0, len(t.Messages)+len(t.Decisions)+len(t.Proposals)+len(t.Crashes))
+	for _, p := range t.Proposals {
+		events = append(events, flowEvent{
+			at:   p.At,
+			prio: 0,
+			text: fmt.Sprintf("%s proposes %s", p.P, p.Value),
+		})
+	}
+	for p, at := range t.Crashes {
+		events = append(events, flowEvent{
+			at:   at,
+			prio: 1,
+			text: fmt.Sprintf("%s ✖ CRASHES", p),
+		})
+	}
+	for _, m := range t.Messages {
+		events = append(events, flowEvent{
+			at:   m.At,
+			prio: 2,
+			text: fmt.Sprintf("%s ──%s──▶ %s", m.From, m.Kind, m.To),
+		})
+	}
+	for _, d := range t.Decisions {
+		events = append(events, flowEvent{
+			at:   d.At,
+			prio: 3,
+			text: fmt.Sprintf("%s ✔ DECIDES %s", d.P, d.Value),
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].prio < events[j].prio
+	})
+
+	lastRound := consensus.Time(-1)
+	for _, ev := range events {
+		if delta > 0 {
+			round := ev.at / consensus.Time(delta)
+			if round != lastRound {
+				lastRound = round
+				if _, err := fmt.Fprintf(w, "== round %d (t in [%d,%d)) ==\n",
+					round+1, round*consensus.Time(delta), (round+1)*consensus.Time(delta)); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "t=%5d  %s\n", ev.at, ev.text); err != nil {
+			return err
+		}
+	}
+	if len(t.Messages) == 0 && t.Deliveries > 0 {
+		_, err := fmt.Fprintf(w, "(%d deliveries not retained — enable KeepMessages before the run)\n", t.Deliveries)
+		return err
+	}
+	return nil
+}
+
+// Summary returns a one-paragraph account of the run: who proposed, who
+// crashed, who decided what and when, and the verdicts.
+func (t *Trace) Summary(delta consensus.Duration) string {
+	s := fmt.Sprintf("%d processes, %d deliveries.", t.N, t.Deliveries)
+	for _, p := range t.Proposals {
+		s += fmt.Sprintf(" %s proposed %s@%d.", p.P, p.Value, p.At)
+	}
+	for i := 0; i < t.N; i++ {
+		p := consensus.ProcessID(i)
+		if at, ok := t.Crashes[p]; ok {
+			s += fmt.Sprintf(" %s crashed@%d.", p, at)
+		}
+	}
+	twoStep := t.TwoStepProcesses(delta)
+	for i := 0; i < t.N; i++ {
+		if d, ok := t.Decisions[consensus.ProcessID(i)]; ok {
+			s += fmt.Sprintf(" %s decided %s@%d.", d.P, d.Value, d.At)
+		}
+	}
+	s += fmt.Sprintf(" Two-step: %v.", twoStep)
+	if err := t.CheckAgreement(); err != nil {
+		s += " AGREEMENT VIOLATED."
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+func sampleTrace() *Trace {
+	tr := New(3)
+	tr.KeepMessages = true
+	tr.RecordProposal(1, 0, consensus.IntValue(5))
+	tr.RecordDelivery(10, 1, 0, "core.propose")
+	tr.RecordDelivery(10, 1, 2, "core.propose")
+	tr.RecordDelivery(20, 0, 1, "core.2b")
+	tr.RecordDelivery(20, 2, 1, "core.2b")
+	tr.RecordDecision(1, 20, consensus.IntValue(5))
+	tr.RecordCrash(2, 25)
+	return tr
+}
+
+func TestWriteFlow(t *testing.T) {
+	tr := sampleTrace()
+	var sb strings.Builder
+	if err := tr.WriteFlow(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"== round 1",
+		"p1 proposes v(5)",
+		"p1 ──core.propose──▶ p0",
+		"p1 ✔ DECIDES v(5)",
+		"p2 ✖ CRASHES",
+		"== round 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flow output missing %q:\n%s", want, out)
+		}
+	}
+	// Decisions sort after deliveries on the same tick.
+	if strings.Index(out, "core.2b──▶ p1") > strings.Index(out, "DECIDES") {
+		t.Errorf("decision rendered before the votes that caused it:\n%s", out)
+	}
+}
+
+func TestWriteFlowWithoutMessages(t *testing.T) {
+	tr := New(2)
+	tr.RecordDelivery(5, 0, 1, "k") // not retained
+	var sb strings.Builder
+	if err := tr.WriteFlow(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "not retained") {
+		t.Errorf("missing retention hint:\n%s", sb.String())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.Summary(10)
+	for _, want := range []string{"3 processes", "p1 proposed", "p1 decided", "p2 crashed", "Two-step: [p1]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+	// Conflicting decision shows up.
+	tr.RecordDecision(0, 30, consensus.IntValue(9))
+	if !strings.Contains(tr.Summary(10), "AGREEMENT VIOLATED") {
+		t.Error("summary hides the violation")
+	}
+}

@@ -1,0 +1,160 @@
+// Package trace records what happened during an execution — proposals,
+// decisions, crashes, message deliveries — and checks the recorded history
+// against the consensus specification: Validity, Agreement, Termination, the
+// two-step latency predicate of Definition 3, and linearizability for the
+// object formulation.
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/consensus"
+)
+
+// Proposal records that process P proposed Value at time At.
+type Proposal struct {
+	P     consensus.ProcessID
+	At    consensus.Time
+	Value consensus.Value
+}
+
+// Decision records that process P decided Value at time At.
+type Decision struct {
+	P     consensus.ProcessID
+	At    consensus.Time
+	Value consensus.Value
+}
+
+// MessageEvent records one message delivery (for diagnostics and counting).
+type MessageEvent struct {
+	At       consensus.Time
+	From, To consensus.ProcessID
+	Kind     string
+}
+
+// Trace is the recorded history of one execution over n processes.
+type Trace struct {
+	N int
+
+	Proposals []Proposal
+	Decisions map[consensus.ProcessID]Decision
+	Crashes   map[consensus.ProcessID]consensus.Time
+
+	// Deliveries counts message deliveries; Messages optionally retains
+	// them all when KeepMessages is set before the run.
+	Deliveries   int64
+	KeepMessages bool
+	Messages     []MessageEvent
+}
+
+// New returns an empty trace for n processes.
+func New(n int) *Trace {
+	return &Trace{
+		N:         n,
+		Decisions: make(map[consensus.ProcessID]Decision),
+		Crashes:   make(map[consensus.ProcessID]consensus.Time),
+	}
+}
+
+// RecordProposal appends a proposal event.
+func (t *Trace) RecordProposal(p consensus.ProcessID, at consensus.Time, v consensus.Value) {
+	t.Proposals = append(t.Proposals, Proposal{P: p, At: at, Value: v})
+}
+
+// RecordDecision records the first decision of p; repeats are ignored.
+func (t *Trace) RecordDecision(p consensus.ProcessID, at consensus.Time, v consensus.Value) {
+	if _, dup := t.Decisions[p]; dup {
+		return
+	}
+	t.Decisions[p] = Decision{P: p, At: at, Value: v}
+}
+
+// RecordCrash records that p crashed at the given time.
+func (t *Trace) RecordCrash(p consensus.ProcessID, at consensus.Time) {
+	if _, dup := t.Crashes[p]; dup {
+		return
+	}
+	t.Crashes[p] = at
+}
+
+// RecordDelivery counts (and optionally retains) one message delivery.
+func (t *Trace) RecordDelivery(at consensus.Time, from, to consensus.ProcessID, kind string) {
+	t.Deliveries++
+	if t.KeepMessages {
+		t.Messages = append(t.Messages, MessageEvent{At: at, From: from, To: to, Kind: kind})
+	}
+}
+
+// Crashed reports whether p crashed during the execution.
+func (t *Trace) Crashed(p consensus.ProcessID) bool {
+	_, ok := t.Crashes[p]
+	return ok
+}
+
+// Correct returns the processes that never crashed, ascending.
+func (t *Trace) Correct() []consensus.ProcessID {
+	out := make([]consensus.ProcessID, 0, t.N)
+	for i := 0; i < t.N; i++ {
+		if !t.Crashed(consensus.ProcessID(i)) {
+			out = append(out, consensus.ProcessID(i))
+		}
+	}
+	return out
+}
+
+// DecisionOf returns p's decision, if it made one.
+func (t *Trace) DecisionOf(p consensus.ProcessID) (Decision, bool) {
+	d, ok := t.Decisions[p]
+	return d, ok
+}
+
+// DecidedValues returns the distinct decided values, sorted ascending.
+func (t *Trace) DecidedValues() []consensus.Value {
+	set := make(map[consensus.Value]struct{})
+	for _, d := range t.Decisions {
+		set[d.Value] = struct{}{}
+	}
+	out := make([]consensus.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// FirstDecision returns the earliest decision in the trace, breaking time
+// ties by process id, and false if nobody decided.
+func (t *Trace) FirstDecision() (Decision, bool) {
+	var best Decision
+	found := false
+	for i := 0; i < t.N; i++ {
+		d, ok := t.Decisions[consensus.ProcessID(i)]
+		if !ok {
+			continue
+		}
+		if !found || d.At < best.At {
+			best = d
+			found = true
+		}
+	}
+	return best, found
+}
+
+// TwoStepProcesses returns the processes that decided by time 2Δ
+// (Definition 3), ascending.
+func (t *Trace) TwoStepProcesses(delta consensus.Duration) []consensus.ProcessID {
+	deadline := consensus.Time(2 * delta)
+	out := make([]consensus.ProcessID, 0, len(t.Decisions))
+	for i := 0; i < t.N; i++ {
+		if d, ok := t.Decisions[consensus.ProcessID(i)]; ok && d.At <= deadline {
+			out = append(out, consensus.ProcessID(i))
+		}
+	}
+	return out
+}
+
+// TwoStepFor reports whether the run was two-step for p (Definition 3).
+func (t *Trace) TwoStepFor(p consensus.ProcessID, delta consensus.Duration) bool {
+	d, ok := t.Decisions[p]
+	return ok && d.At <= consensus.Time(2*delta)
+}

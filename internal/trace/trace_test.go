@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+func v(k int64) consensus.Value { return consensus.IntValue(k) }
+
+func TestAgreement(t *testing.T) {
+	tr := New(3)
+	tr.RecordDecision(0, 20, v(5))
+	tr.RecordDecision(1, 30, v(5))
+	if err := tr.CheckAgreement(); err != nil {
+		t.Fatalf("agreeing decisions flagged: %v", err)
+	}
+	tr.RecordDecision(2, 40, v(6))
+	if err := tr.CheckAgreement(); !errors.Is(err, ErrAgreement) {
+		t.Fatalf("violation missed: %v", err)
+	}
+}
+
+func TestRepeatedDecisionIgnored(t *testing.T) {
+	tr := New(2)
+	tr.RecordDecision(0, 20, v(5))
+	tr.RecordDecision(0, 25, v(6)) // later duplicate must be ignored
+	d, ok := tr.DecisionOf(0)
+	if !ok || d.Value != v(5) || d.At != 20 {
+		t.Fatalf("first decision not preserved: %v", d)
+	}
+}
+
+func TestValidity(t *testing.T) {
+	tr := New(3)
+	tr.RecordProposal(0, 0, v(5))
+	tr.RecordDecision(1, 20, v(5))
+	if err := tr.CheckValidity(); err != nil {
+		t.Fatalf("valid decision flagged: %v", err)
+	}
+	tr.RecordDecision(2, 20, v(9))
+	if err := tr.CheckValidity(); !errors.Is(err, ErrValidity) {
+		t.Fatalf("invented value missed: %v", err)
+	}
+}
+
+func TestTermination(t *testing.T) {
+	tr := New(3)
+	tr.RecordCrash(2, 10)
+	tr.RecordDecision(0, 20, v(5))
+	if err := tr.CheckTermination(tr.Correct()); !errors.Is(err, ErrTermination) {
+		t.Fatalf("missing decision of p1 not flagged: %v", err)
+	}
+	tr.RecordDecision(1, 25, v(5))
+	if err := tr.CheckTermination(tr.Correct()); err != nil {
+		t.Fatalf("termination flagged despite all correct deciding: %v", err)
+	}
+}
+
+func TestTwoStepPredicates(t *testing.T) {
+	tr := New(3)
+	delta := consensus.Duration(10)
+	tr.RecordDecision(0, 20, v(5)) // exactly 2Δ: two-step
+	tr.RecordDecision(1, 21, v(5)) // just past
+	if !tr.TwoStepFor(0, delta) {
+		t.Error("decision at exactly 2Δ must count as two-step")
+	}
+	if tr.TwoStepFor(1, delta) {
+		t.Error("decision after 2Δ counted as two-step")
+	}
+	if got := tr.TwoStepProcesses(delta); len(got) != 1 || got[0] != 0 {
+		t.Errorf("TwoStepProcesses = %v", got)
+	}
+}
+
+func TestLinearizable(t *testing.T) {
+	tr := New(3)
+	tr.RecordProposal(0, 0, v(5))
+	tr.RecordDecision(0, 20, v(5))
+	if err := tr.CheckLinearizable(); err != nil {
+		t.Fatalf("linearizable history flagged: %v", err)
+	}
+
+	// A decision whose value was only proposed after the first response
+	// completed cannot be linearized.
+	tr2 := New(3)
+	tr2.RecordProposal(0, 0, v(5))
+	tr2.RecordProposal(1, 50, v(9))
+	tr2.RecordDecision(2, 20, v(9))
+	if err := tr2.CheckLinearizable(); !errors.Is(err, ErrLinearizable) {
+		t.Fatalf("non-linearizable history missed: %v", err)
+	}
+}
+
+func TestObjectSpecOnlyRequiresProposersToDecide(t *testing.T) {
+	tr := New(4)
+	tr.RecordProposal(1, 0, v(5))
+	tr.RecordDecision(1, 20, v(5))
+	// p0, p2, p3 never proposed and never decided: still fine.
+	if err := tr.CheckObjectSpec(); err != nil {
+		t.Fatalf("object spec flagged: %v", err)
+	}
+	// A crashed proposer needs no decision either.
+	tr.RecordProposal(2, 5, v(7))
+	tr.RecordCrash(2, 6)
+	if err := tr.CheckObjectSpec(); err != nil {
+		t.Fatalf("object spec flagged crashed proposer: %v", err)
+	}
+	// But a correct proposer must decide.
+	tr.RecordProposal(3, 5, v(8))
+	if err := tr.CheckObjectSpec(); !errors.Is(err, ErrTermination) {
+		t.Fatalf("undecided correct proposer missed: %v", err)
+	}
+}
+
+func TestFirstDecision(t *testing.T) {
+	tr := New(3)
+	if _, ok := tr.FirstDecision(); ok {
+		t.Fatal("FirstDecision on empty trace")
+	}
+	tr.RecordDecision(2, 30, v(5))
+	tr.RecordDecision(1, 20, v(5))
+	d, ok := tr.FirstDecision()
+	if !ok || d.P != 1 || d.At != 20 {
+		t.Fatalf("FirstDecision = %v", d)
+	}
+}
+
+func TestDecidedValuesSorted(t *testing.T) {
+	tr := New(3)
+	tr.RecordDecision(0, 20, v(9))
+	tr.RecordDecision(1, 20, v(3))
+	tr.RecordDecision(2, 20, v(9))
+	got := tr.DecidedValues()
+	if len(got) != 2 || got[0] != v(3) || got[1] != v(9) {
+		t.Fatalf("DecidedValues = %v", got)
+	}
+}
+
+func TestMessageRecording(t *testing.T) {
+	tr := New(2)
+	tr.RecordDelivery(5, 0, 1, "k")
+	if tr.Deliveries != 1 || len(tr.Messages) != 0 {
+		t.Fatal("messages retained without KeepMessages")
+	}
+	tr.KeepMessages = true
+	tr.RecordDelivery(6, 1, 0, "k")
+	if len(tr.Messages) != 1 {
+		t.Fatal("KeepMessages did not retain")
+	}
+}

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/consensus"
+)
+
+// Mesh is an in-process transport fabric connecting n endpoints through
+// buffered channels, one delivery goroutine per endpoint. Messages between
+// endpoints are passed by reference; protocols must treat received messages
+// as immutable (the same contract the simulator imposes).
+type Mesh struct {
+	n  int
+	mu sync.RWMutex
+	// inboxes[i] carries envelopes destined for endpoint i.
+	inboxes []chan meshEnvelope
+	closed  bool
+}
+
+type meshEnvelope struct {
+	from consensus.ProcessID
+	msg  consensus.Message
+}
+
+// meshInboxDepth bounds each endpoint's queue; sends beyond it drop, which
+// the protocols tolerate (timers retransmit). The depth is generous so
+// drops only occur under pathological backlog.
+const meshInboxDepth = 4096
+
+// NewMesh creates a fabric for n endpoints.
+func NewMesh(n int) *Mesh {
+	m := &Mesh{n: n, inboxes: make([]chan meshEnvelope, n)}
+	for i := range m.inboxes {
+		m.inboxes[i] = make(chan meshEnvelope, meshInboxDepth)
+	}
+	return m
+}
+
+// Endpoint attaches handler as endpoint id's receiver and returns its
+// transport. Each id must be attached at most once.
+func (m *Mesh) Endpoint(id consensus.ProcessID, handler Handler) (Transport, error) {
+	if int(id) < 0 || int(id) >= m.n {
+		return nil, fmt.Errorf("mesh: endpoint %d out of range [0,%d)", id, m.n)
+	}
+	ep := &meshEndpoint{mesh: m, id: id, done: make(chan struct{})}
+	go func() {
+		defer close(ep.done)
+		for env := range m.inboxes[id] {
+			handler(env.from, env.msg)
+		}
+	}()
+	return ep, nil
+}
+
+// Close shuts the whole fabric down.
+func (m *Mesh) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, ch := range m.inboxes {
+		close(ch)
+	}
+}
+
+type meshEndpoint struct {
+	mesh *Mesh
+	id   consensus.ProcessID
+	done chan struct{}
+}
+
+var _ Transport = (*meshEndpoint)(nil)
+
+// Self implements Transport.
+func (e *meshEndpoint) Self() consensus.ProcessID { return e.id }
+
+// Send implements Transport. Sends to a full or closed inbox drop.
+func (e *meshEndpoint) Send(to consensus.ProcessID, msg consensus.Message) error {
+	if int(to) < 0 || int(to) >= e.mesh.n {
+		return fmt.Errorf("mesh: send to %d out of range", to)
+	}
+	e.mesh.mu.RLock()
+	defer e.mesh.mu.RUnlock()
+	if e.mesh.closed {
+		return fmt.Errorf("mesh: closed")
+	}
+	select {
+	case e.mesh.inboxes[to] <- meshEnvelope{from: e.id, msg: msg}:
+	default:
+		// Queue full: drop; protocol timers will retransmit.
+	}
+	return nil
+}
+
+// Close implements Transport. Closing an endpoint does not tear down the
+// fabric; use (*Mesh).Close for that.
+func (e *meshEndpoint) Close() error { return nil }

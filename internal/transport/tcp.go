@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+)
+
+// maxFrame bounds a single wire frame (defense against corrupt peers).
+const maxFrame = 1 << 20
+
+// tcpFrame is the wire envelope: the sender identity plus the codec's
+// self-describing message encoding.
+type tcpFrame struct {
+	From int             `json:"from"`
+	Msg  json.RawMessage `json:"msg"`
+}
+
+// TCP is a transport over TCP with 4-byte length-prefixed JSON frames.
+// Outbound connections are dialed lazily and re-dialed on failure; a failed
+// send drops the message (protocol timers retransmit).
+type TCP struct {
+	self    consensus.ProcessID
+	addrs   map[consensus.ProcessID]string
+	codec   *consensus.Codec
+	handler Handler
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	conns   map[consensus.ProcessID]net.Conn
+	inbound map[net.Conn]struct{}
+	closed  bool
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP starts listening on addrs[self] and delivers inbound messages to
+// handler. addrs must name every peer, including self.
+func NewTCP(
+	self consensus.ProcessID,
+	addrs map[consensus.ProcessID]string,
+	codec *consensus.Codec,
+	handler Handler,
+) (*TCP, error) {
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("tcp: no address for self (%s)", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		self:    self,
+		addrs:   make(map[consensus.ProcessID]string, len(addrs)),
+		codec:   codec,
+		handler: handler,
+		ln:      ln,
+		conns:   make(map[consensus.ProcessID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	for p, a := range addrs {
+		t.addrs[p] = a
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener's actual address (useful with ":0").
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetPeerAddr updates the address book entry for a peer, dropping any
+// cached connection. Useful when peers bind to ":0" and publish their real
+// addresses after startup.
+func (t *TCP) SetPeerAddr(p consensus.ProcessID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[p] = addr
+	if c, ok := t.conns[p]; ok {
+		c.Close()
+		delete(t.conns, p)
+	}
+}
+
+// Self implements Transport.
+func (t *TCP) Self() consensus.ProcessID { return t.self }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		var f tcpFrame
+		if err := json.Unmarshal(frame, &f); err != nil {
+			return
+		}
+		msg, err := t.codec.Decode(f.Msg)
+		if err != nil {
+			continue // unknown kind: ignore, stay connected
+		}
+		t.handler(consensus.ProcessID(f.From), msg)
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(to consensus.ProcessID, msg consensus.Message) error {
+	body, err := t.codec.Encode(msg)
+	if err != nil {
+		return fmt.Errorf("tcp send: %w", err)
+	}
+	frame, err := json.Marshal(tcpFrame{From: int(t.self), Msg: body})
+	if err != nil {
+		return fmt.Errorf("tcp send: %w", err)
+	}
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := writeFrame(conn, frame); err != nil {
+		// Drop the connection; the next send re-dials.
+		conn.Close()
+		if t.conns[to] == conn {
+			delete(t.conns, to)
+		}
+		return fmt.Errorf("tcp send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// conn returns a cached or freshly dialed connection to the peer.
+func (t *TCP) conn(to consensus.ProcessID) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("tcp: closed")
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcp: no address for %s", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("tcp dial %s: %w", to, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return nil, errors.New("tcp: closed")
+	}
+	if prev, ok := t.conns[to]; ok {
+		c.Close() // lost the race; reuse the existing connection
+		return prev, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.conns = make(map[consensus.ProcessID]net.Conn)
+	for c := range t.inbound {
+		c.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("frame of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, frame []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}

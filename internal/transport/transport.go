@@ -1,0 +1,28 @@
+// Package transport provides real message transports for running the
+// protocol state machines outside the simulator: an in-process channel mesh
+// for tests, examples and throughput benchmarks, and a TCP transport with
+// length-prefixed JSON framing for multi-process deployments.
+//
+// A transport delivers whole messages with their sender identity; ordering
+// is per-link FIFO and delivery is at-most-once per send (the protocols
+// tolerate loss through retransmission on their timers, per their design
+// for partial synchrony).
+package transport
+
+import "repro/internal/consensus"
+
+// Handler consumes one received message. Implementations of Transport call
+// the handler sequentially from a single receiving goroutine per peer;
+// handlers must be safe for concurrent invocation across peers.
+type Handler func(from consensus.ProcessID, msg consensus.Message)
+
+// Transport sends messages to peers and hands received ones to the handler.
+type Transport interface {
+	// Self returns the local process identity.
+	Self() consensus.ProcessID
+	// Send transmits msg to the peer. Errors are advisory: a send to a
+	// crashed or unreachable peer may simply drop.
+	Send(to consensus.ProcessID, msg consensus.Message) error
+	// Close releases resources and stops delivery.
+	Close() error
+}
