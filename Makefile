@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench report examples vet cover fuzz clean
+.PHONY: all build test test-short race bench report examples vet lint cover fuzz clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Custom static-analysis suite (determinism, quorumarith, lockguard,
+# msgswitch) — see docs/ANALYZERS.md.
+lint:
+	$(GO) run ./cmd/protolint ./...
+
 test:
 	$(GO) test ./... -timeout 600s
+
+# Full suite under the race detector (CI runs this; local runs may take a
+# few minutes).
+race:
+	$(GO) test ./... -race -timeout 1200s
 
 # Skips the heavyweight exhaustive model-checking suites.
 test-short:

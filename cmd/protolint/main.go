@@ -1,0 +1,108 @@
+// Command protolint runs the repository's custom static-analysis suite
+// (internal/analyzers) over the module: determinism of the protocol state
+// machines, centralised quorum arithmetic, lock discipline, and exhaustive
+// message dispatch. See docs/ANALYZERS.md.
+//
+// Usage:
+//
+//	go run ./cmd/protolint [-run=name1,name2] [-list] [packages...]
+//
+// With no package arguments it analyzes ./.... It exits 1 if any analyzer
+// reports a finding, making it suitable for `make lint` and CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	var (
+		runList  = flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+		listOnly = flag.Bool("list", false, "list registered analyzers and exit")
+	)
+	flag.Parse()
+
+	suite := analyzers.Suite()
+	if *listOnly {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *runList != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analyzers.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			unknown := make([]string, 0, len(want))
+			for name := range want {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "protolint: unknown analyzer(s): %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analyzers.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "protolint: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		d   analyzers.Diagnostic
+		pkg *analyzers.Package
+	}
+	var all []finding
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			ds, err := analyzers.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "protolint: %s: %v\n", pkg.ImportPath, err)
+				os.Exit(2)
+			}
+			for _, d := range ds {
+				all = append(all, finding{d, pkg})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi := all[i].pkg.Fset.Position(all[i].d.Pos)
+		pj := all[j].pkg.Fset.Position(all[j].d.Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return all[i].d.Analyzer < all[j].d.Analyzer
+	})
+	for _, item := range all {
+		pos := item.pkg.Fset.Position(item.d.Pos)
+		fmt.Printf("%s: %s (%s)\n", pos, item.d.Message, item.d.Analyzer)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "protolint: %d finding(s)\n", len(all))
+		os.Exit(1)
+	}
+}

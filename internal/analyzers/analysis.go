@@ -1,0 +1,159 @@
+// Package analyzers implements the protolint static-analysis suite: custom
+// analyzers that machine-check the invariants this repository's correctness
+// story rests on — protocol determinism (internal/consensus, internal/core and
+// the other protocol packages are pure state machines), centralised quorum
+// arithmetic (the max{2e+f, 2f+1}-style bounds live only in internal/quorum),
+// package-local lock discipline, and exhaustive message dispatch.
+//
+// The package deliberately mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is built on the standard library alone, so
+// the module keeps its zero-dependency property. The cmd/protolint driver runs
+// the suite over the module; see docs/ANALYZERS.md for the contract each
+// analyzer enforces and how to suppress a finding with a //lint:allow comment.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. It is the stdlib-only analogue of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// comments. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one type-checked package, reporting
+	// findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, anchored at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass provides one analyzer with a single type-checked package and
+// collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	allow       map[allowKey]bool
+	parents     map[ast.Node]ast.Node
+}
+
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// allowRE matches suppression comments: //lint:allow name1,name2 [reason].
+var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+([a-zA-Z0-9_,]+)`)
+
+// buildAllowIndex scans every comment in the pass's files for //lint:allow
+// directives. A directive suppresses the named analyzers on its own line and
+// on the line directly below it (so it can sit above a declaration).
+func (p *Pass) buildAllowIndex() {
+	p.allow = make(map[allowKey]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					p.allow[allowKey{pos.Filename, pos.Line, name}] = true
+					p.allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+}
+
+// suppressed reports whether a diagnostic at pos is silenced by a
+// //lint:allow directive for this pass's analyzer.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	return p.allow[allowKey{position.Filename, position.Line, p.Analyzer.Name}]
+}
+
+// Reportf records a diagnostic unless a //lint:allow comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Parent returns the syntactic parent of n within the pass's files, or nil.
+// The parent map is built lazily on first use.
+func (p *Pass) Parent(n ast.Node) ast.Node {
+	if p.parents == nil {
+		p.parents = make(map[ast.Node]ast.Node)
+		for _, f := range p.Files {
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if len(stack) > 0 {
+					p.parents[n] = stack[len(stack)-1]
+				}
+				stack = append(stack, n)
+				return true
+			})
+		}
+	}
+	return p.parents[n]
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	pass.buildAllowIndex()
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sort.Slice(pass.diagnostics, func(i, j int) bool {
+		return pass.diagnostics[i].Pos < pass.diagnostics[j].Pos
+	})
+	return pass.diagnostics, nil
+}
+
+// Suite returns the full protolint analyzer suite in a stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{Determinism, QuorumArith, LockGuard, MsgSwitch}
+}

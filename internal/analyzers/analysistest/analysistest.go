@@ -1,0 +1,153 @@
+// Package analysistest runs one analyzer over a fixture directory and checks
+// its diagnostics against // want "regexp" comments in the fixture sources —
+// the same contract as golang.org/x/tools/go/analysis/analysistest, rebuilt
+// on the standard library so the module stays dependency-free.
+//
+// A fixture line may carry one or more expectations:
+//
+//	x := time.Now() // want "protocols must not read the clock"
+//
+// Each quoted string is a regular expression that must match the message of
+// exactly one diagnostic reported on that line. Diagnostics without a
+// matching expectation, and expectations without a matching diagnostic, fail
+// the test. Fixtures live under testdata/, which `go build ./...` ignores, so
+// deliberately non-conforming code never reaches the real build.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// wantRE matches the comment tail of an expectation line. The quoted strings
+// are extracted separately by parseWants.
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// Run loads the fixture directory as package path asPath (so analyzers that
+// condition on the import path can be exercised), applies the analyzer, and
+// compares diagnostics against the fixture's // want expectations.
+// moduleDir anchors import resolution and is almost always "../.." from the
+// test's working directory — use RunFixture for the repository layout.
+func Run(t *testing.T, moduleDir, fixtureDir, asPath string, a *analyzers.Analyzer) {
+	t.Helper()
+	pkg, err := analyzers.LoadDir(moduleDir, fixtureDir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	diags, err := analyzers.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixtureDir, err)
+	}
+	wants := collectWants(t, pkg.Fset, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		if i := matchWant(wants[key], d.Message); i >= 0 {
+			wants[key][i].matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every comment of the fixture for // want expectations.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *analyzers.Package) map[lineKey][]*want {
+	t.Helper()
+	out := map[lineKey][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWants(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad // want comment: %v", pos, err)
+				}
+				key := lineKey{pos.Filename, pos.Line}
+				for _, re := range res {
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWants extracts the sequence of Go-quoted regular expressions from the
+// text after "want".
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+		q, rest, err := scanQuoted(s)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", q, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %q: %v", pat, err)
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(rest)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no expectations")
+	}
+	return out, nil
+}
+
+// scanQuoted splits off one double-quoted Go string literal from the front of
+// s, honouring backslash escapes.
+func scanQuoted(s string) (lit, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in %q", s)
+}
+
+func matchWant(ws []*want, message string) int {
+	for i, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			return i
+		}
+	}
+	return -1
+}

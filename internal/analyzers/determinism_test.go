@@ -1,0 +1,40 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+// TestDeterminismProtocolPackage runs the determinism analyzer over a fixture
+// loaded as a protocol package: clock reads, unseeded randomness, goroutines
+// and order-sensitive map iteration are flagged; sorted collection,
+// commutative folds and the //lint:allow escape hatch are not.
+func TestDeterminismProtocolPackage(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/determinism/proto",
+		"repro/internal/core", analyzers.Determinism)
+}
+
+// TestDeterminismNonProtocolPackage loads the same kinds of constructs as a
+// non-protocol package, where the determinism contract does not apply.
+func TestDeterminismNonProtocolPackage(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/determinism/nonproto",
+		"repro/internal/bench", analyzers.Determinism)
+}
+
+func TestIsProtocolPackage(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/core":      true,
+		"repro/internal/consensus": true,
+		"repro/internal/mc":        true,
+		"repro/internal/quorum":    true,
+		"repro/internal/sim":       false, // the simulator owns the clock
+		"repro/internal/node":      false, // the live host owns the network
+		"repro/internal/bench":     false,
+	} {
+		if got := analyzers.IsProtocolPackage(path); got != want {
+			t.Errorf("IsProtocolPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

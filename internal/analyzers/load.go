@@ -1,0 +1,224 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command in dir and decodes its -json package stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportIndex resolves the transitive dependencies of patterns and returns a
+// map from import path to compiled export-data file, used to type-check
+// against precompiled imports without golang.org/x/tools.
+func exportIndex(dir string, patterns []string) (map[string]string, error) {
+	args := append([]string{"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Export,Standard"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// newExportImporter returns a types.Importer that reads gc export data from
+// the files recorded in exports.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load lists, parses and type-checks the module packages matching patterns,
+// resolving imports through compiled export data (`go list -export`), so it
+// works offline and without golang.org/x/tools. Non-module (standard library)
+// packages named by patterns are resolved as dependencies but not analyzed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export",
+		"-json=ImportPath,Export,Dir,GoFiles,Standard,Incomplete,Error"}, patterns...)
+	targets, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportIndex(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard {
+			continue
+		}
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := typeCheckDir(fset, imp, t.Dir, t.GoFiles, t.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files — typically
+// an analysistest fixture under testdata, which `go list ./...` ignores — and
+// checks it under the package path asPath, so analyzers that condition on the
+// import path (e.g. determinism's protocol-package list) can be exercised
+// from fixtures. moduleDir anchors import resolution; fixture imports of both
+// standard-library and module-internal packages resolve through export data.
+func LoadDir(moduleDir, fixtureDir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, filepath.Join(fixtureDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+		for _, im := range af.Imports {
+			importSet[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", fixtureDir)
+	}
+	patterns := make([]string, 0, len(importSet))
+	for p := range importSet {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	exports := map[string]string{}
+	if len(patterns) > 0 {
+		exports, err = exportIndex(moduleDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := newExportImporter(fset, exports)
+	names := make([]string, 0, len(files))
+	for _, f := range files {
+		names = append(names, fset.Position(f.Pos()).Filename)
+	}
+	return typeCheck(fset, imp, files, asPath, strings.Join(names, " "))
+}
+
+func typeCheckDir(fset *token.FileSet, imp types.Importer, dir string, goFiles []string, importPath string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	pkg, err := typeCheck(fset, imp, files, importPath, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, files []*ast.File, importPath, what string) (*Package, error) {
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", what, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,245 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockGuard enforces package-local lock discipline: for a struct that embeds
+// a sync.Mutex or sync.RWMutex field, every exported method that touches a
+// mutable sibling field must acquire the mutex first. "Mutable" means the
+// field is assigned somewhere in a method of the type — fields only set at
+// construction time are treated as immutable configuration and exempt. The
+// check is a package-local heuristic (it does not track interprocedural
+// locking), so a deliberate exception can be recorded with
+// //lint:allow lockguard on the method.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "exported methods of mutex-bearing structs must lock before " +
+		"touching mutable sibling fields",
+	Run: runLockGuard,
+}
+
+// lockedStruct describes one struct type with at least one mutex field.
+type lockedStruct struct {
+	name    *types.TypeName
+	mutexes map[string]bool // field names of type sync.Mutex/RWMutex
+	mutable map[string]bool // sibling fields assigned in some method
+}
+
+func runLockGuard(pass *Pass) error {
+	structs := findLockedStructs(pass)
+	if len(structs) == 0 {
+		return nil
+	}
+	// First pass: which fields does any method of the type mutate?
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			ls, recv := methodTarget(pass, structs, fd)
+			if ls == nil {
+				continue
+			}
+			markMutatedFields(pass, fd.Body, recv, ls)
+		}
+	}
+	// Second pass: exported methods touching mutable fields must lock.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ls, recv := methodTarget(pass, structs, fd)
+			if ls == nil {
+				continue
+			}
+			touched := touchedMutableFields(pass, fd.Body, recv, ls)
+			if len(touched) == 0 || acquiresLock(pass, fd.Body, recv, ls) {
+				continue
+			}
+			sort.Strings(touched)
+			pass.Reportf(fd.Name.Pos(),
+				"%s.%s accesses guarded field(s) %s without acquiring %s first",
+				ls.name.Name(), fd.Name.Name, strings.Join(touched, ", "), mutexNames(ls))
+		}
+	}
+	return nil
+}
+
+// findLockedStructs collects the package's struct types that have a
+// sync.Mutex or sync.RWMutex field.
+func findLockedStructs(pass *Pass) map[*types.TypeName]*lockedStruct {
+	out := map[*types.TypeName]*lockedStruct{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		ls := &lockedStruct{name: tn, mutexes: map[string]bool{}, mutable: map[string]bool{}}
+		for i := 0; i < st.NumFields(); i++ {
+			if isSyncMutex(st.Field(i).Type()) {
+				ls.mutexes[st.Field(i).Name()] = true
+			}
+		}
+		if len(ls.mutexes) > 0 {
+			out[tn] = ls
+		}
+	}
+	return out
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// methodTarget resolves fd's receiver to one of the locked structs, returning
+// the struct record and the receiver's object (nil, nil when the method
+// belongs to some other type or has an anonymous receiver).
+func methodTarget(pass *Pass, structs map[*types.TypeName]*lockedStruct, fd *ast.FuncDecl) (*lockedStruct, types.Object) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, nil
+	}
+	recvIdent := fd.Recv.List[0].Names[0]
+	recvObj := pass.TypesInfo.Defs[recvIdent]
+	if recvObj == nil {
+		return nil, nil
+	}
+	t := recvObj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	ls, ok := structs[named.Obj()]
+	if !ok {
+		return nil, nil
+	}
+	return ls, recvObj
+}
+
+// markMutatedFields records receiver fields that body assigns, increments, or
+// passes by address — the signals that a field is protected state rather than
+// immutable configuration.
+func markMutatedFields(pass *Pass, body *ast.BlockStmt, recv types.Object, ls *lockedStruct) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f := recvFieldName(pass, lhs, recv); f != "" {
+					ls.mutable[f] = true
+				}
+				// Writing through recv.m[k] mutates field m.
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if f := recvFieldName(pass, ix.X, recv); f != "" {
+						ls.mutable[f] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if f := recvFieldName(pass, n.X, recv); f != "" {
+				ls.mutable[f] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if f := recvFieldName(pass, n.X, recv); f != "" {
+					ls.mutable[f] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recvFieldName returns the field name when e is recv.field (for a non-mutex
+// sibling field), else "".
+func recvFieldName(pass *Pass, e ast.Expr, recv types.Object) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(id) != recv {
+		return ""
+	}
+	if sel2, ok := pass.TypesInfo.Selections[sel]; ok {
+		if _, isField := sel2.Obj().(*types.Var); !isField {
+			return "" // method value, not a field
+		}
+	}
+	return sel.Sel.Name
+}
+
+// touchedMutableFields lists the mutable guarded fields body reads or writes.
+func touchedMutableFields(pass *Pass, body *ast.BlockStmt, recv types.Object, ls *lockedStruct) []string {
+	seen := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if f := recvFieldName(pass, e, recv); f != "" && ls.mutable[f] && !ls.mutexes[f] {
+			seen[f] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	return out
+}
+
+// acquiresLock reports whether body calls Lock or RLock on one of the
+// struct's mutex fields via the receiver.
+func acquiresLock(pass *Pass, body *ast.BlockStmt, recv types.Object, ls *lockedStruct) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if f := recvFieldName(pass, sel.X, recv); f != "" && ls.mutexes[f] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func mutexNames(ls *lockedStruct) string {
+	names := make([]string, 0, len(ls.mutexes))
+	for m := range ls.mutexes {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}

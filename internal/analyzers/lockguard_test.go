@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+// TestLockGuard covers the lock-discipline heuristic: unlocked access to a
+// mutated sibling field is flagged; locked access, immutable configuration
+// fields, unexported methods, mutex-free structs, and //lint:allow lockguard
+// are not.
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/lockguard",
+		"repro/internal/lockfixture", analyzers.LockGuard)
+}

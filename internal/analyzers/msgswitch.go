@@ -1,0 +1,148 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MsgSwitch enforces exhaustive dispatch over protocol messages: a type
+// switch whose subject is the consensus.Message interface must list every
+// concrete message type declared in the current package. Handlers receive
+// messages through a shared transport, and a `default: return nil` arm makes
+// a forgotten case invisible — a newly added message kind would be silently
+// dropped by every handler that predates it. A default arm remains legal (it
+// handles messages from other packages on shared transports); what is not
+// legal is omitting one of this package's own message types from the cases.
+var MsgSwitch = &Analyzer{
+	Name: "msgswitch",
+	Doc: "type switches over consensus.Message must list every message " +
+		"type declared in the package",
+	Run: runMsgSwitch,
+}
+
+func runMsgSwitch(pass *Pass) error {
+	iface := messageInterface(pass.Pkg)
+	if iface == nil {
+		return nil
+	}
+	impls := packageMessageTypes(pass.Pkg, iface)
+	if len(impls) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			subject := typeSwitchSubject(ts)
+			if subject == nil {
+				return true
+			}
+			st := pass.TypesInfo.TypeOf(subject)
+			if st == nil || !types.Identical(st, iface.Type()) {
+				return true
+			}
+			missing := missingCases(pass, ts, impls)
+			if len(missing) > 0 {
+				pass.Reportf(ts.Pos(),
+					"type switch over consensus.Message does not handle %s: every message type declared in this package must have a case",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// messageInterface finds the consensus Message interface as seen from pkg:
+// either pkg is internal/consensus itself or it imports it.
+func messageInterface(pkg *types.Package) *types.TypeName {
+	candidates := append([]*types.Package{pkg}, pkg.Imports()...)
+	for _, p := range candidates {
+		if p.Path() != "repro/internal/consensus" && !strings.HasSuffix(p.Path(), "/internal/consensus") {
+			continue
+		}
+		if tn, ok := p.Scope().Lookup("Message").(*types.TypeName); ok {
+			if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+// packageMessageTypes lists the concrete (struct) types in pkg whose pointer
+// implements the Message interface, keyed by type name.
+func packageMessageTypes(pkg *types.Package, iface *types.TypeName) map[string]types.Type {
+	ifaceType := iface.Type().Underlying().(*types.Interface)
+	out := map[string]types.Type{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(t, ifaceType) || types.Implements(types.NewPointer(t), ifaceType) {
+			out[name] = t
+		}
+	}
+	return out
+}
+
+// typeSwitchSubject extracts the expression x from `switch v := x.(type)` or
+// `switch x.(type)`.
+func typeSwitchSubject(ts *ast.TypeSwitchStmt) ast.Expr {
+	var assertion ast.Expr
+	switch s := ts.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assertion = s.Rhs[0]
+		}
+	case *ast.ExprStmt:
+		assertion = s.X
+	}
+	ta, ok := assertion.(*ast.TypeAssertExpr)
+	if !ok {
+		return nil
+	}
+	return ta.X
+}
+
+// missingCases returns the names of impl types not covered by any case
+// clause of ts, sorted.
+func missingCases(pass *Pass, ts *ast.TypeSwitchStmt, impls map[string]types.Type) []string {
+	covered := map[string]bool{}
+	for _, clause := range ts.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, typeExpr := range cc.List {
+			t := pass.TypesInfo.TypeOf(typeExpr)
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == pass.Pkg {
+				covered[named.Obj().Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for name := range impls {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

@@ -1,0 +1,19 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+// TestMsgSwitch covers exhaustive message dispatch: a type switch over
+// consensus.Message missing one of the package's message types is flagged
+// (even with a default arm); complete switches, switches over unrelated
+// interfaces, and //lint:allow msgswitch are not. The fixture imports the
+// real repro/internal/consensus package, so the analyzer is exercised
+// against the actual Message interface.
+func TestMsgSwitch(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/msgswitch",
+		"repro/internal/msgfixture", analyzers.MsgSwitch)
+}

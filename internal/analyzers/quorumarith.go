@@ -1,0 +1,190 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// QuorumArith flags hand-rolled quorum arithmetic outside internal/quorum:
+// majority expressions like n/2, len(x)/2+1, (f+1)/2, and linear bound
+// expressions like 2*e+f or 3*f+1. The paper's whole contribution is that
+// these formulas differ between consensus formulations (max{2e+f, 2f+1} for
+// tasks vs max{2e+f−1, 2f+1} for objects vs Lamport's max{2e+f+1, 2f+1}), so
+// a bound hard-coded at a call site is a bound that silently diverges when
+// the definition changes. Callers must go through the helpers in
+// internal/quorum (or consensus.Config.FastQuorum/ClassicQuorum, which are
+// derived from them).
+var QuorumArith = &Analyzer{
+	Name: "quorumarith",
+	Doc: "flag raw quorum arithmetic (n/2, len(x)/2+1, 2*e+f, …) outside " +
+		"internal/quorum; use the quorum helpers instead",
+	Run: runQuorumArith,
+}
+
+// quorumishName matches identifiers and field names that plausibly denote a
+// process count or failure threshold. Case-insensitive exact match.
+var quorumishName = regexp.MustCompile(`(?i)^(n|f|e|total|size|count|votes?|acks?|oks?|oneBs?|twoBs?|replies|reports|members|replicas|peers|nodes|procs|processes|cluster|quorum\w*|majority|faults?|crashes|fast\w*|classic\w*)$`)
+
+func runQuorumArith(pass *Pass) error {
+	if pass.Pkg.Path() == "repro/internal/quorum" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			// Only report the outermost expression of an arithmetic chain,
+			// so n/2+1 yields one diagnostic, not two.
+			if parent, ok := pass.Parent(be).(*ast.BinaryExpr); ok && isArithOp(parent.Op) {
+				return true
+			}
+			if why := quorumArithPattern(pass, be); why != "" {
+				pass.Reportf(be.Pos(), "raw quorum arithmetic (%s): use the helpers in internal/quorum (or consensus.Config.FastQuorum/ClassicQuorum) so the paper's bounds stay in one place", why)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isArithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+// quorumArithPattern reports a short description of the quorum-arithmetic
+// shape found in e, or "" if e is innocuous. Two shapes are recognised over
+// integer operands:
+//
+//	majority: q/2, q/2+1, (q+1)/2 — where q is quorum-ish (len(...) or a
+//	          suggestively named identifier/field)
+//	linear:   c*q ± r chains with c ∈ {2, 3} and q quorum-ish (2*e+f,
+//	          2*f+1, 3*f+2*e−1, …)
+func quorumArithPattern(pass *Pass, e *ast.BinaryExpr) string {
+	if !isIntExpr(pass, e) {
+		return ""
+	}
+	if q, ok := halvedOperand(pass, e); ok {
+		return "majority of " + q
+	}
+	// Linear bounds (2*e+f, 3*f+1, …) are only suspicious as additive
+	// chains: a bare 2*x is more often a capacity or a timer multiple.
+	if e.Op == token.ADD || e.Op == token.SUB {
+		if q, ok := linearBoundTerm(pass, e); ok {
+			return "linear bound in " + q
+		}
+	}
+	return ""
+}
+
+// halvedOperand recognises q/2 (possibly inside q/2+1 or (q+1)/2) and
+// returns a rendering of q.
+func halvedOperand(pass *Pass, e *ast.BinaryExpr) (string, bool) {
+	// Peel an outer ±1: q/2+1, q/2-1.
+	if (e.Op == token.ADD || e.Op == token.SUB) && isIntLiteral(e.Y, 1) {
+		if div, ok := unparen(e.X).(*ast.BinaryExpr); ok {
+			e = div
+		}
+	}
+	if e.Op != token.QUO || !isIntLiteral(e.Y, 2) {
+		return "", false
+	}
+	x := unparen(e.X)
+	// (q+1)/2 ceiling form.
+	if inner, ok := x.(*ast.BinaryExpr); ok && inner.Op == token.ADD && isIntLiteral(inner.Y, 1) {
+		x = unparen(inner.X)
+	}
+	if q, ok := quorumishExpr(pass, x); ok {
+		return q, true
+	}
+	return "", false
+}
+
+// linearBoundTerm recognises additive chains containing c*q with c ∈ {2,3}
+// and quorum-ish q, e.g. 2*e+f, 2*f+1, 3*f+2*e-1.
+func linearBoundTerm(pass *Pass, e ast.Expr) (string, bool) {
+	switch e := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if q, ok := linearBoundTerm(pass, e.X); ok {
+				return q, true
+			}
+			return linearBoundTerm(pass, e.Y)
+		case token.MUL:
+			coeff, operand := e.X, unparen(e.Y)
+			if _, isLit := unparen(coeff).(*ast.BasicLit); !isLit {
+				coeff, operand = e.Y, unparen(e.X)
+			}
+			if !isIntLiteral(coeff, 2) && !isIntLiteral(coeff, 3) {
+				return "", false
+			}
+			return quorumishExpr(pass, operand)
+		}
+	}
+	return "", false
+}
+
+// quorumishExpr reports whether e looks like a process count or threshold:
+// len(...) of something, or an identifier/selector whose (final) name matches
+// quorumishName.
+func quorumishExpr(pass *Pass, e ast.Expr) (string, bool) {
+	switch e := unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "len" {
+			return "len(…)", true
+		}
+		// Conversions like int64(n) wrap the interesting operand.
+		if len(e.Args) == 1 {
+			if _, isConv := pass.TypesInfo.Types[e.Fun]; isConv && pass.TypesInfo.Types[e.Fun].IsType() {
+				return quorumishExpr(pass, e.Args[0])
+			}
+		}
+	case *ast.Ident:
+		if quorumishName.MatchString(e.Name) {
+			return e.Name, true
+		}
+	case *ast.SelectorExpr:
+		if quorumishName.MatchString(e.Sel.Name) {
+			return exprString(e), true
+		}
+	}
+	return "", false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isIntLiteral(e ast.Expr, value int64) bool {
+	lit, ok := unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return false
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	return err == nil && v == value
+}
+
+func isIntExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

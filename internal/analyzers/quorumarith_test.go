@@ -1,0 +1,24 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+// TestQuorumArithOutsideQuorumPackage flags raw majority and linear-bound
+// expressions in an ordinary package; innocuous arithmetic and //lint:allow
+// lines pass.
+func TestQuorumArithOutsideQuorumPackage(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/quorumarith/caller",
+		"repro/internal/smr", analyzers.QuorumArith)
+}
+
+// TestQuorumArithInsideQuorumPackage loads the same formulas as
+// repro/internal/quorum itself, where they are the single source of truth
+// and must not be flagged.
+func TestQuorumArithInsideQuorumPackage(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/quorumarith/quorum",
+		"repro/internal/quorum", analyzers.QuorumArith)
+}

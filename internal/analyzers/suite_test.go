@@ -1,0 +1,63 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// TestSuiteRegistersAllAnalyzers pins the acceptance criterion that the
+// protolint multichecker ships at least the four documented analyzers, each
+// with a unique name and documentation.
+func TestSuiteRegistersAllAnalyzers(t *testing.T) {
+	suite := analyzers.Suite()
+	if len(suite) < 4 {
+		t.Fatalf("Suite() registered %d analyzers, want at least 4", len(suite))
+	}
+	want := map[string]bool{
+		"determinism": false, "quorumarith": false, "lockguard": false, "msgswitch": false,
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing Name, Doc or Run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if _, ok := want[a.Name]; ok {
+			want[a.Name] = true
+		}
+	}
+	for name, found := range want {
+		if !found {
+			t.Errorf("required analyzer %q not registered", name)
+		}
+	}
+}
+
+// TestSuiteCleanOnQuorumPackage is an integration test of the loader and the
+// full suite against a real module package that must be lint-clean — the
+// same green-at-merge property `make lint` enforces over the whole tree.
+func TestSuiteCleanOnQuorumPackage(t *testing.T) {
+	pkgs, err := analyzers.Load("../..", "repro/internal/quorum", "repro/internal/lowerbound")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers.Suite() {
+			diags, err := analyzers.RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: unexpected finding in clean package: %s (%s)",
+					pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Fixture loaded as a NON-protocol package (repro/internal/bench): the
+// determinism contract does not apply, so nothing here may be flagged even
+// though the same code would be rejected in a protocol package.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func hostsMayUseTheClock() time.Time {
+	return time.Now()
+}
+
+func hostsMayUseGlobalRand() int {
+	return rand.Intn(10)
+}
+
+func hostsMaySpawnGoroutines(work func()) {
+	go work()
+}
+
+func hostsMayIterateMaps(m map[int]string, sink func(int)) {
+	for k := range m {
+		sink(k)
+	}
+}

@@ -1,0 +1,122 @@
+// Fixture for the determinism analyzer, loaded as a protocol package
+// (repro/internal/core). Annotated lines must be flagged; everything else
+// demonstrates the allowed deterministic idioms.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now() // want "time.Now in protocol package"
+	t0 := time.Unix(0, 0)
+	_ = time.Since(t0) // want "time.Since in protocol package"
+	_ = t0.Unix()      // pure conversion: fine
+}
+
+func randomness() int {
+	rng := rand.New(rand.NewSource(42)) // seeded constructor: fine
+	_ = rand.Intn(10)                   // want "unseeded global source"
+	rand.Shuffle(3, func(i, j int) {})  // want "unseeded global source"
+	return rng.Intn(10)                 // method on seeded generator: fine
+}
+
+func goroutine() {
+	go func() {}() // want "go statement in protocol package"
+}
+
+func sortedCollect(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // collected and sorted below: fine
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func unsortedCollect(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want "collected into \"keys\" but never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func countVotes(m map[int]string) map[string]int {
+	counts := make(map[string]int)
+	for _, v := range m { // counting is commutative: fine
+		counts[v]++
+	}
+	return counts
+}
+
+func maxFold(m map[int]int) int {
+	best := 0
+	for _, v := range m { // max via comparison guard: fine
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func maxBuiltin(m map[int]int) int {
+	best := 0
+	for _, v := range m { // commutative fold: fine
+		best = max(best, v)
+	}
+	return best
+}
+
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // commutative accumulation: fine
+		total += v
+	}
+	return total
+}
+
+func concat(m map[int]string) string {
+	s := ""
+	for _, v := range m { // want "map iteration order is observable"
+		s += v
+	}
+	return s
+}
+
+func sideEffects(m map[int]string, sink func(int)) {
+	for k := range m { // want "map iteration order is observable"
+		sink(k)
+	}
+}
+
+func firstKey(m map[int]string) int {
+	for k := range m { // want "map iteration order is observable"
+		return k
+	}
+	return -1
+}
+
+func hasEmpty(m map[int]string) bool {
+	for _, v := range m { // existence check: fine
+		if v == "" {
+			return true
+		}
+	}
+	return false
+}
+
+func suppressed(m map[int]string, sink func(int)) {
+	//lint:allow determinism the sink is order-insensitive in this fixture
+	for k := range m {
+		sink(k)
+	}
+}
+
+func sliceRange(xs []int, sink func(int)) {
+	for _, x := range xs { // slices iterate in index order: fine
+		sink(x)
+	}
+}

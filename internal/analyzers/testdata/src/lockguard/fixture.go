@@ -1,0 +1,56 @@
+// Fixture for the lockguard analyzer: exported methods of mutex-bearing
+// structs must lock before touching mutable sibling fields.
+package fixture
+
+import "sync"
+
+type Counter struct {
+	mu   sync.Mutex
+	n    int
+	name string // never assigned in a method: immutable configuration
+}
+
+func (c *Counter) Inc() { // locks before touching n: fine
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Get() int { // want "Counter.Get accesses guarded field.* n without acquiring mu"
+	return c.n
+}
+
+func (c *Counter) Name() string { // name is immutable: fine
+	return c.name
+}
+
+func (c *Counter) Racy() int { //lint:allow lockguard deliberately racy fast-path read
+	return c.n
+}
+
+func (c *Counter) reset() { // unexported: out of scope for the heuristic
+	c.n = 0
+}
+
+type RW struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+func (r *RW) Lookup(k string) int { // RLock counts as acquiring: fine
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.data[k]
+}
+
+func (r *RW) Put(k string, v int) { // want "RW.Put accesses guarded field.* data without acquiring mu"
+	r.data[k] = v
+}
+
+type Plain struct {
+	n int
+}
+
+func (p *Plain) Bump() { // no mutex field anywhere: out of scope
+	p.n++
+}

@@ -1,0 +1,44 @@
+// Fixture for the quorumarith analyzer, loaded as a package OUTSIDE
+// internal/quorum (repro/internal/smr): raw quorum arithmetic must be
+// flagged; innocuous arithmetic must not.
+package fixture
+
+func majority(n int) int {
+	return n/2 + 1 // want "majority of n"
+}
+
+func lenQuorum(acks []bool) int {
+	return len(acks)/2 + 1 // want "majority of len"
+}
+
+func ceilHalf(f int) int {
+	return (f + 1) / 2 // want "majority of f"
+}
+
+func taskBound(f, e int) int {
+	return 2*e + f // want "linear bound in e"
+}
+
+func plainBound(f int) int {
+	return 2*f + 1 // want "linear bound in f"
+}
+
+func byzantineBound(f, e int) int {
+	return 3*f + 2*e - 1 // want "linear bound in f"
+}
+
+func bareDouble(delta int64) int64 {
+	return 2 * delta // doubling a timer is not a bound: fine
+}
+
+func otherCoefficient(delta int64) int64 {
+	return 5*delta + 1 // coefficient outside {2, 3}: fine
+}
+
+func halfOfSomethingElse(width int) int {
+	return width / 3 // not a halving: fine
+}
+
+func median(xs []float64) float64 {
+	return xs[len(xs)/2] //lint:allow quorumarith median of a sample, not a quorum
+}

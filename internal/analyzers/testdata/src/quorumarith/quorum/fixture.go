@@ -1,0 +1,14 @@
+// Fixture loaded as repro/internal/quorum itself: inside the quorum package
+// the raw formulas ARE the single source of truth, so nothing is flagged.
+package fixture
+
+func taskMinProcesses(f, e int) int {
+	if fast := 2*e + f; fast >= 2*f+1 {
+		return fast
+	}
+	return 2*f + 1
+}
+
+func majority(n int) int {
+	return n/2 + 1
+}

@@ -38,7 +38,7 @@ func Frontier() *Result {
 				runner.Scenario{N: nT, F: f, E: e, Delta: benchDelta, Seed: 1}).OK()
 
 			taskBreak := "—"
-			if 2*e+f >= 2*f+1 { // the 2e+f side binds; n−1 = 2e+f−1
+			if quorum.FastSideBinds(quorum.Task, f, e) { // n−1 = 2e+f−1
 				w, err := lowerbound.TaskWitness(protocols.CoreTaskFactory, nT-1, f, e, benchDelta)
 				if err == nil && w.FastDecided {
 					taskBreak = verdict(w.Violated, true)
@@ -49,7 +49,7 @@ func Frontier() *Result {
 				runner.Scenario{N: nO, F: f, E: e, Delta: benchDelta, Seed: 1}).OK()
 
 			objBreak := "—"
-			if 2*e+f-1 >= 2*f+1 && f >= 2 && e >= 2 {
+			if quorum.FastSideBinds(quorum.Object, f, e) && f >= 2 && e >= 2 {
 				w, err := lowerbound.ObjectWitness(protocols.CoreObjectFactory, nO-1, f, e, benchDelta)
 				if err == nil && w.FastDecided {
 					objBreak = verdict(w.Violated, true)
@@ -57,7 +57,7 @@ func Frontier() *Result {
 			}
 
 			fpBreak := "—"
-			if 2*e+f+1 > 2*f+1 { // Lamport's 2e+f+1 side binds; n−1 = 2e+f
+			if quorum.FastSideBinds(quorum.Lamport, f, e) { // n−1 = 2e+f
 				w, err := lowerbound.TaskWitnessVariant(protocols.FastPaxosFactory,
 					nL-1, f, e, benchDelta, lowerbound.TaskLowFast)
 				if err == nil && w.FastDecided {

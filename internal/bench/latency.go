@@ -42,7 +42,7 @@ func latencyContenders() []latencyProtocol {
 		},
 		{
 			name: "epaxos",
-			n:    func(f, _ int) int { return 2*f + 1 },
+			n:    func(f, _ int) int { return quorum.PlainMinProcesses(f) },
 			fac:  func(owner consensus.ProcessID) runner.Factory { return protocols.EPaxosFactory(owner) },
 			ownE: func(f, _ int) int { return quorum.EPaxosFastThreshold(f) },
 		},

@@ -22,7 +22,7 @@ func LowerBounds() *Result {
 	taskCases := []struct{ f, e int }{{2, 2}, {3, 2}, {3, 3}, {4, 3}, {4, 4}}
 	for _, c := range taskCases {
 		bound := quorum.TaskMinProcesses(c.f, c.e)
-		for _, n := range []int{2*c.e + c.f - 1, bound} {
+		for _, n := range []int{quorum.TaskFastSide(c.f, c.e) - 1, bound} {
 			w, err := lowerbound.TaskWitness(protocols.CoreTaskFactory, n, c.f, c.e, benchDelta)
 			if err != nil {
 				continue
@@ -35,7 +35,7 @@ func LowerBounds() *Result {
 	objCases := []struct{ f, e int }{{3, 3}, {4, 4}, {5, 4}, {5, 5}}
 	for _, c := range objCases {
 		bound := quorum.ObjectMinProcesses(c.f, c.e)
-		for _, n := range []int{2*c.e + c.f - 2, bound} {
+		for _, n := range []int{quorum.ObjectFastSide(c.f, c.e) - 1, bound} {
 			w, err := lowerbound.ObjectWitness(protocols.CoreObjectFactory, n, c.f, c.e, benchDelta)
 			if err != nil {
 				continue
@@ -47,7 +47,7 @@ func LowerBounds() *Result {
 	}
 	// Fast Paxos one below Lamport's bound, at the paper's task bound.
 	for _, c := range taskCases {
-		n := 2*c.e + c.f
+		n := quorum.LamportFastSide(c.f, c.e) - 1
 		w, err := lowerbound.TaskWitnessVariant(protocols.FastPaxosFactory, n, c.f, c.e, benchDelta, lowerbound.TaskLowFast)
 		if err != nil {
 			continue

@@ -27,6 +27,7 @@ package lowerbound
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/consensus"
 	"repro/internal/quorum"
@@ -135,8 +136,16 @@ func (c construction) execute(fac runner.Factory) (Witness, error) {
 		cfg := consensus.Config{ID: p, N: c.n, F: c.f, E: c.e, Delta: c.delta}
 		cl.SetNode(p, fac(cfg, oracle))
 	}
-	for p, v := range c.inputs {
-		cl.SchedulePropose(p, 0, v)
+	// Schedule proposals in process order: the construction's schedule must
+	// be byte-for-byte reproducible, and simultaneous events keep their
+	// insertion order in the simulator's queue.
+	proposers := make([]consensus.ProcessID, 0, len(c.inputs))
+	for p := range c.inputs {
+		proposers = append(proposers, p)
+	}
+	sort.Slice(proposers, func(i, j int) bool { return proposers[i] < proposers[j] })
+	for _, p := range proposers {
+		cl.SchedulePropose(p, 0, c.inputs[p])
 	}
 	for _, p := range c.crashAt2D {
 		cl.ScheduleCrash(p, consensus.Time(2*c.delta))

@@ -31,8 +31,8 @@ func ObjectWitness(fac runner.Factory, n, f, e int, delta consensus.Duration) (W
 	if f < 2 || e < 2 || e > f {
 		return Witness{}, fmt.Errorf("lowerbound: object construction needs f ≥ 2 and 2 ≤ e ≤ f, got f=%d e=%d", f, e)
 	}
-	if n < 2*e+f-2 {
-		return Witness{}, fmt.Errorf("lowerbound: object construction needs n ≥ 2e+f−2 = %d, got %d", 2*e+f-2, n)
+	if min := quorum.ObjectFastSide(f, e) - 1; n < min {
+		return Witness{}, fmt.Errorf("lowerbound: object construction needs n ≥ 2e+f−2 = %d, got %d", min, n)
 	}
 	a := n - e - f + 1 // |E₀*|
 	b := n - f - a     // |E₁*|

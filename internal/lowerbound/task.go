@@ -72,8 +72,8 @@ func TaskWitnessVariant(fac runner.Factory, n, f, e int, delta consensus.Duratio
 	if f < 1 || e < 1 || e > f {
 		return Witness{}, fmt.Errorf("lowerbound: need 1 ≤ e ≤ f, got f=%d e=%d", f, e)
 	}
-	if n < 2*e+f-1 {
-		return Witness{}, fmt.Errorf("lowerbound: task construction needs n ≥ 2e+f−1 = %d, got %d", 2*e+f-1, n)
+	if min := quorum.TaskFastSide(f, e) - 1; n < min {
+		return Witness{}, fmt.Errorf("lowerbound: task construction needs n ≥ 2e+f−1 = %d, got %d", min, n)
 	}
 	if n-e < f {
 		return Witness{}, fmt.Errorf("lowerbound: side A (n−e=%d) cannot hold F₀ and p (need ≥ %d)", n-e, f)

@@ -59,6 +59,40 @@ func ObjectMinProcesses(f, e int) int { return maxInt(2*e+f-1, 2*f+1) }
 // fast consensus, matched by Fast Paxos.
 func LamportMinProcesses(f, e int) int { return maxInt(2*e+f+1, 2*f+1) }
 
+// TaskFastSide returns 2e+f, the fast-path side of the Task bound's
+// max{2e+f, 2f+1}. The lower-bound constructions (internal/lowerbound) and
+// the frontier tables reason about this side in isolation: the §B.1 splice
+// needs n one below it, independent of whether 2f+1 happens to dominate.
+func TaskFastSide(f, e int) int { return 2*e + f }
+
+// ObjectFastSide returns 2e+f−1, the fast-path side of the Object bound's
+// max{2e+f−1, 2f+1} (Theorem 6).
+func ObjectFastSide(f, e int) int { return 2*e + f - 1 }
+
+// LamportFastSide returns 2e+f+1, the fast-path side of Lamport's
+// max{2e+f+1, 2f+1}.
+func LamportFastSide(f, e int) int { return 2*e + f + 1 }
+
+// FastSideBinds reports whether, for the given mode, the fast-path side of
+// the max is the binding term — i.e. whether removing one process from the
+// minimum-size system drops it below the fast-path requirement, which is the
+// precondition for the paper's breaking constructions to apply at n = min−1.
+// Task and Object treat a tie as binding (at equality the construction still
+// applies); Lamport requires a strict excess (2e+f+1 > 2f+1 ⟺ 2e > f), since
+// at a tie n−1 already violates the plain 2f+1 bound instead.
+func FastSideBinds(mode Mode, f, e int) bool {
+	switch mode {
+	case Task:
+		return TaskFastSide(f, e) >= PlainMinProcesses(f)
+	case Object:
+		return ObjectFastSide(f, e) >= PlainMinProcesses(f)
+	case Lamport:
+		return LamportFastSide(f, e) > PlainMinProcesses(f)
+	default:
+		return false
+	}
+}
+
 // MinProcesses dispatches on mode.
 func MinProcesses(mode Mode, f, e int) int {
 	switch mode {
