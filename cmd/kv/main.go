@@ -6,7 +6,7 @@
 //
 //	kv -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -f 1 -e 1
 //
-// Client (reads commands from stdin, PUT/GET/DEL/PING, fails over between
+// Client (reads commands from stdin, PUT/GET/DEL/STATS, fails over between
 // proxies):
 //
 //	kv -connect 127.0.0.1:8100,127.0.0.1:8101,127.0.0.1:8102
@@ -46,6 +46,7 @@ func run() error {
 		fFlag   = flag.Int("f", 1, "resilience threshold f")
 		eFlag   = flag.Int("e", 1, "fast threshold e")
 		tickMS  = flag.Int("tick", 5, "milliseconds per protocol tick (Δ = 10 ticks)")
+		stats   = flag.Duration("stats", 30*time.Second, "period between transport stats lines (0 disables)")
 		connect = flag.String("connect", "", "client mode: comma-separated client addresses")
 	)
 	flag.Parse()
@@ -56,10 +57,10 @@ func run() error {
 	if *id < 0 || *peers == "" {
 		return fmt.Errorf("replica mode needs -id and -peers; client mode needs -connect")
 	}
-	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *tickMS)
+	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *tickMS, *stats)
 }
 
-func replicaMain(id int, peerList []string, f, e, tickMS int) error {
+func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Duration) error {
 	n := len(peerList)
 	cfg := consensus.Config{ID: consensus.ProcessID(id), N: n, F: f, E: e, Delta: 10}
 	replica, err := smr.NewReplica(cfg, time.Duration(tickMS)*time.Millisecond)
@@ -94,9 +95,24 @@ func replicaMain(id int, peerList []string, f, e, tickMS int) error {
 	fmt.Printf("replica %s up: consensus %s, clients %s, n=%d f=%d e=%d\n",
 		cfg.ID, addrs[cfg.ID], srv.Addr(), n, f, e)
 
+	if statsEvery > 0 {
+		ticker := time.NewTicker(statsEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if st, ok := replica.TransportStats(); ok {
+					fmt.Printf("transport: %s\n", st)
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	if st, ok := replica.TransportStats(); ok {
+		fmt.Printf("transport (final): %s\n", st)
+	}
 	fmt.Println("shutting down")
 	return nil
 }
@@ -171,8 +187,15 @@ func clientMain(addrs []string) error {
 			} else {
 				fmt.Println("OK")
 			}
+		case "STATS":
+			line, err := client.Stats()
+			if err != nil {
+				fmt.Println("ERR", err)
+			} else {
+				fmt.Println("STATS", line)
+			}
 		default:
-			fmt.Println("commands: PUT GET DEL QUIT")
+			fmt.Println("commands: PUT GET DEL STATS QUIT")
 		}
 		fmt.Print("> ")
 	}

@@ -47,6 +47,7 @@ func run() error {
 		eFlag   = flag.Int("e", 1, "fast threshold e")
 		object  = flag.Bool("object", true, "object mode (propose-driven); false = task mode")
 		tickMS  = flag.Int("tick", 5, "milliseconds per protocol tick (Δ = 10 ticks)")
+		stats   = flag.Duration("stats", 30*time.Second, "period between transport stats lines (0 disables)")
 		propose = flag.String("propose", "", `client mode: "<key> [data]" to propose`)
 		proxy   = flag.String("proxy", "", "client mode: proxy's client address")
 		timeout = flag.Duration("timeout", 30*time.Second, "client decision timeout")
@@ -59,10 +60,10 @@ func run() error {
 	if *id < 0 || *peers == "" {
 		return fmt.Errorf("server mode needs -id and -peers; client mode needs -propose and -proxy")
 	}
-	return serverMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *object, *tickMS)
+	return serverMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *object, *tickMS, *stats)
 }
 
-func serverMain(id int, peerList []string, f, e int, object bool, tickMS int) error {
+func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, statsEvery time.Duration) error {
 	n := len(peerList)
 	cfg := consensus.Config{ID: consensus.ProcessID(id), N: n, F: f, E: e, Delta: 10}
 	if err := cfg.Validate(); err != nil {
@@ -107,6 +108,16 @@ func serverMain(id int, peerList []string, f, e int, object bool, tickMS int) er
 	defer ln.Close()
 	fmt.Printf("process %s up: consensus %s, clients %s, n=%d f=%d e=%d mode=%s\n",
 		cfg.ID, addrs[cfg.ID], clientAddr, n, f, e, mode)
+
+	if statsEvery > 0 {
+		ticker := time.NewTicker(statsEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				fmt.Printf("transport: %s\n", tr.Stats())
+			}
+		}()
+	}
 
 	for {
 		conn, err := ln.Accept()

@@ -20,30 +20,33 @@ func Throughput() *Result {
 	r := &Result{
 		ID:     "F4",
 		Title:  fmt.Sprintf("replicated KV throughput, in-process transport (n=%d, f=%d, e=%d)", n, f, e),
-		Header: []string{"clients", "batching", "ops", "elapsed", "ops/sec"},
+		Header: []string{"clients", "batching", "ops", "elapsed", "ops/sec", "msgs", "drops"},
 	}
 	for _, clients := range []int{1, 2, 4, 8} {
 		for _, batching := range []bool{false, true} {
-			ops, elapsed, err := throughputRun(n, f, e, clients, 30, batching)
+			ops, elapsed, st, err := throughputRun(n, f, e, clients, 30, batching)
 			label := "off"
 			if batching {
 				label = "2ms window"
 			}
 			if err != nil {
-				r.AddRow(clients, label, "—", "—", "err: "+err.Error())
+				r.AddRow(clients, label, "—", "—", "err: "+err.Error(), "—", "—")
 				continue
 			}
 			r.AddRow(clients, label, ops, elapsed.Round(time.Millisecond),
-				fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()))
+				fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()),
+				st.Sends, st.Drops)
 		}
 	}
 	r.AddNote("Without batching every Put is one consensus instance; contention between proxies exercises the slow path and slot retries. With batching each proxy groups concurrent Puts into one instance.")
+	r.AddNote("msgs/drops are the transport fabric's counters (transport.Stats) for the whole run: messages delivered into replica inboxes and messages dropped on full inboxes — nonzero drops mean the run leaned on protocol-timer retransmission.")
 	return r
 }
 
 // throughputRun boots an SMR cluster and hammers it with clients×opsPerClient
-// Puts, returning total ops and elapsed time.
-func throughputRun(n, f, e, clients, opsPerClient int, batching bool) (int, time.Duration, error) {
+// Puts, returning total ops, elapsed time, and the transport fabric's
+// counters for the run.
+func throughputRun(n, f, e, clients, opsPerClient int, batching bool) (int, time.Duration, transport.Stats, error) {
 	mesh := transport.NewMesh(n)
 	defer mesh.Close()
 	replicas := make([]*smr.Replica, n)
@@ -51,11 +54,11 @@ func throughputRun(n, f, e, clients, opsPerClient int, batching bool) (int, time
 		cfg := consensus.Config{ID: consensus.ProcessID(i), N: n, F: f, E: e, Delta: 10}
 		rep, err := smr.NewReplica(cfg, time.Millisecond)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, transport.Stats{}, err
 		}
 		tr, err := mesh.Endpoint(cfg.ID, rep.Handle)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, transport.Stats{}, err
 		}
 		rep.BindTransport(tr)
 		replicas[i] = rep
@@ -93,7 +96,7 @@ func throughputRun(n, f, e, clients, opsPerClient int, batching bool) (int, time
 	elapsed := time.Since(start)
 	close(errCh)
 	if err := <-errCh; err != nil {
-		return 0, 0, err
+		return 0, 0, transport.Stats{}, err
 	}
-	return clients * opsPerClient, elapsed, nil
+	return clients * opsPerClient, elapsed, mesh.Stats(), nil
 }

@@ -80,6 +80,19 @@ func (c *Client) Delete(key string) error {
 	return nil
 }
 
+// Stats fetches the current proxy replica's transport counters line
+// (the server's STATS command).
+func (c *Client) Stats() (string, error) {
+	reply, err := c.roundTrip("STATS")
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(reply, "STATS ") {
+		return "", fmt.Errorf("smr client: %s", reply)
+	}
+	return strings.TrimPrefix(reply, "STATS "), nil
+}
+
 // Proxy returns the address of the proxy currently in use.
 func (c *Client) Proxy() string {
 	c.mu.Lock()

@@ -343,6 +343,19 @@ func (r *Replica) nextFreeSlotLocked(prev int) int {
 	}
 }
 
+// TransportStats reports the bound transport's counters (false when no
+// transport is bound). Surfaced by the server's STATS command and the
+// periodic stats line in cmd/kv.
+func (r *Replica) TransportStats() (transport.Stats, bool) {
+	r.mu.Lock()
+	tr := r.tr
+	r.mu.Unlock()
+	if tr == nil {
+		return transport.Stats{}, false
+	}
+	return tr.Stats(), true
+}
+
 // Get reads a key from the local (applied) store state.
 func (r *Replica) Get(key string) (string, bool) {
 	r.mu.Lock()

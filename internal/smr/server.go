@@ -16,6 +16,7 @@ import (
 //	GET <key>             →  VAL <value>  |  NONE
 //	DEL <key>             →  OK
 //	PING                  →  PONG
+//	STATS                 →  STATS <transport counters>
 //
 // Errors answer "ERR <reason>". One command per line; responses are single
 // lines. GET is served from the replica's applied state (see KV.Get for the
@@ -118,6 +119,12 @@ func (s *Server) handleLine(line string) string {
 	switch strings.ToUpper(fields[0]) {
 	case "PING":
 		return "PONG"
+	case "STATS":
+		st, ok := s.replica.TransportStats()
+		if !ok {
+			return "ERR no transport bound"
+		}
+		return "STATS " + st.String()
 	case "GET":
 		if len(fields) != 2 {
 			return "ERR usage: GET <key>"

@@ -2,6 +2,7 @@ package smr_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -120,6 +121,31 @@ func TestServerProtocolErrors(t *testing.T) {
 	// Unknown key.
 	if _, err := client.Get("missing"); !errors.Is(err, smr.ErrNotFound) {
 		t.Fatalf("Get(missing) = %v", err)
+	}
+}
+
+func TestServerStatsCommand(t *testing.T) {
+	addrs, _, cleanup := startServedCluster(t, 3, 1, 1)
+	defer cleanup()
+	client, err := smr.NewClient(addrs[:1], 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// A replicated write guarantees the replica's transport has traffic.
+	if err := client.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	line, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "sends=") || !strings.Contains(line, "drops=") {
+		t.Fatalf("STATS line = %q, want transport counters", line)
+	}
+	if strings.HasPrefix(line, "sends=0 ") {
+		t.Fatalf("STATS line = %q, want nonzero sends after a replicated write", line)
 	}
 }
 

@@ -12,11 +12,14 @@ import (
 // endpoints are passed by reference; protocols must treat received messages
 // as immutable (the same contract the simulator imposes).
 type Mesh struct {
-	n  int
+	n     int
+	depth int
+
 	mu sync.RWMutex
 	// inboxes[i] carries envelopes destined for endpoint i.
-	inboxes []chan meshEnvelope
-	closed  bool
+	inboxes   []chan meshEnvelope
+	endpoints []*meshEndpoint
+	closed    bool
 }
 
 type meshEnvelope struct {
@@ -29,11 +32,18 @@ type meshEnvelope struct {
 // drops only occur under pathological backlog.
 const meshInboxDepth = 4096
 
-// NewMesh creates a fabric for n endpoints.
-func NewMesh(n int) *Mesh {
-	m := &Mesh{n: n, inboxes: make([]chan meshEnvelope, n)}
+// NewMesh creates a fabric for n endpoints with the default inbox depth.
+func NewMesh(n int) *Mesh { return NewMeshWithDepth(n, meshInboxDepth) }
+
+// NewMeshWithDepth creates a fabric with an explicit per-endpoint inbox
+// depth (useful for exercising the drop path in tests).
+func NewMeshWithDepth(n, depth int) *Mesh {
+	if depth <= 0 {
+		depth = meshInboxDepth
+	}
+	m := &Mesh{n: n, depth: depth, inboxes: make([]chan meshEnvelope, n)}
 	for i := range m.inboxes {
-		m.inboxes[i] = make(chan meshEnvelope, meshInboxDepth)
+		m.inboxes[i] = make(chan meshEnvelope, depth)
 	}
 	return m
 }
@@ -45,6 +55,9 @@ func (m *Mesh) Endpoint(id consensus.ProcessID, handler Handler) (Transport, err
 		return nil, fmt.Errorf("mesh: endpoint %d out of range [0,%d)", id, m.n)
 	}
 	ep := &meshEndpoint{mesh: m, id: id, done: make(chan struct{})}
+	m.mu.Lock()
+	m.endpoints = append(m.endpoints, ep)
+	m.mu.Unlock()
 	go func() {
 		defer close(ep.done)
 		for env := range m.inboxes[id] {
@@ -52,6 +65,26 @@ func (m *Mesh) Endpoint(id consensus.ProcessID, handler Handler) (Transport, err
 		}
 	}()
 	return ep, nil
+}
+
+// Stats aggregates every attached endpoint's counters into a fabric view;
+// QueueDepth is the live total backlog across all inboxes (including those
+// of endpoints that were never attached).
+func (m *Mesh) Stats() Stats {
+	m.mu.RLock()
+	eps := make([]*meshEndpoint, len(m.endpoints))
+	copy(eps, m.endpoints)
+	m.mu.RUnlock()
+	var s Stats
+	for _, ep := range eps {
+		es := ep.stats.snapshot()
+		es.QueueDepth = 0 // endpoint depth is a live inbox view, not a counter
+		s = s.Merge(es)
+	}
+	for _, ch := range m.inboxes {
+		s.QueueDepth += len(ch)
+	}
+	return s
 }
 
 // Close shuts the whole fabric down.
@@ -68,9 +101,10 @@ func (m *Mesh) Close() {
 }
 
 type meshEndpoint struct {
-	mesh *Mesh
-	id   consensus.ProcessID
-	done chan struct{}
+	mesh  *Mesh
+	id    consensus.ProcessID
+	done  chan struct{}
+	stats counters
 }
 
 var _ Transport = (*meshEndpoint)(nil)
@@ -78,7 +112,17 @@ var _ Transport = (*meshEndpoint)(nil)
 // Self implements Transport.
 func (e *meshEndpoint) Self() consensus.ProcessID { return e.id }
 
-// Send implements Transport. Sends to a full or closed inbox drop.
+// Stats implements Transport: this endpoint's outbound counters (drops are
+// broken down per destination), with QueueDepth reporting the endpoint's
+// own inbound backlog.
+func (e *meshEndpoint) Stats() Stats {
+	s := e.stats.snapshot()
+	s.QueueDepth = len(e.mesh.inboxes[e.id])
+	return s
+}
+
+// Send implements Transport. Sends to a full inbox drop (counted per
+// destination); sends on a closed mesh drop with an error.
 func (e *meshEndpoint) Send(to consensus.ProcessID, msg consensus.Message) error {
 	if int(to) < 0 || int(to) >= e.mesh.n {
 		return fmt.Errorf("mesh: send to %d out of range", to)
@@ -86,12 +130,16 @@ func (e *meshEndpoint) Send(to consensus.ProcessID, msg consensus.Message) error
 	e.mesh.mu.RLock()
 	defer e.mesh.mu.RUnlock()
 	if e.mesh.closed {
-		return fmt.Errorf("mesh: closed")
+		e.stats.drop(DropClosed, to)
+		return fmt.Errorf("mesh send to %d: %w", to, ErrClosed)
 	}
 	select {
 	case e.mesh.inboxes[to] <- meshEnvelope{from: e.id, msg: msg}:
+		e.stats.sent(0) // by-reference delivery: no wire bytes
 	default:
-		// Queue full: drop; protocol timers will retransmit.
+		// Inbox full: drop; protocol timers will retransmit. The drop is
+		// counted against the destination so soak runs can report loss.
+		e.stats.drop(DropQueueFull, to)
 	}
 	return nil
 }

@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/consensus"
+)
+
+// DropCause classifies why a transport dropped a message instead of
+// delivering it. Dropping is legal under the at-most-once contract — the
+// protocols retransmit on their timers — but every drop is counted so loss
+// is observable (see docs/TRANSPORT.md).
+type DropCause string
+
+const (
+	// DropQueueFull: the destination's bounded queue (per-peer outbound
+	// queue for TCP, inbox for Mesh) was full.
+	DropQueueFull DropCause = "queue-full"
+	// DropConn: the link was down — a dial or framed write failed, or the
+	// reconnect backoff window was still open.
+	DropConn DropCause = "conn"
+	// DropOversize: the encoded frame exceeded maxFrame.
+	DropOversize DropCause = "oversize"
+	// DropClosed: the transport was already closed.
+	DropClosed DropCause = "closed"
+	// DropBadSender: an inbound frame named a sender that is negative or
+	// not in the address book; it was rejected before reaching protocol
+	// code.
+	DropBadSender DropCause = "bad-sender"
+)
+
+// dropCauseOrder fixes the rendering order of Stats.String.
+var dropCauseOrder = []DropCause{
+	DropQueueFull, DropConn, DropOversize, DropClosed, DropBadSender,
+}
+
+// Stats is a point-in-time snapshot of a transport's counters.
+type Stats struct {
+	// Enqueued counts messages accepted into an outbound queue by Send.
+	Enqueued uint64
+	// Sends counts frames actually written to the wire (for Mesh:
+	// delivered into the destination inbox).
+	Sends uint64
+	// Drops counts messages dropped, across all causes.
+	Drops uint64
+	// Reconnects counts successful re-dials after a connection was lost.
+	Reconnects uint64
+	// BytesSent and BytesRecv count framed wire bytes (zero for Mesh,
+	// which passes messages by reference).
+	BytesSent uint64
+	BytesRecv uint64
+	// QueueDepth is the number of messages currently queued.
+	QueueDepth int
+	// DropsByCause breaks Drops down by cause.
+	DropsByCause map[DropCause]uint64
+	// DropsByPeer breaks Drops down by peer: the destination for outbound
+	// causes, the claimed source for bad-sender.
+	DropsByPeer map[consensus.ProcessID]uint64
+}
+
+// Merge returns the field-wise sum of s and o (queue depths add, maps
+// union). Useful for aggregating endpoint stats into a fabric view.
+func (s Stats) Merge(o Stats) Stats {
+	out := s
+	out.Enqueued += o.Enqueued
+	out.Sends += o.Sends
+	out.Drops += o.Drops
+	out.Reconnects += o.Reconnects
+	out.BytesSent += o.BytesSent
+	out.BytesRecv += o.BytesRecv
+	out.QueueDepth += o.QueueDepth
+	if len(o.DropsByCause) > 0 {
+		m := make(map[DropCause]uint64, len(s.DropsByCause)+len(o.DropsByCause))
+		for k, v := range s.DropsByCause {
+			m[k] = v
+		}
+		for k, v := range o.DropsByCause {
+			m[k] += v
+		}
+		out.DropsByCause = m
+	}
+	if len(o.DropsByPeer) > 0 {
+		m := make(map[consensus.ProcessID]uint64, len(s.DropsByPeer)+len(o.DropsByPeer))
+		for k, v := range s.DropsByPeer {
+			m[k] = v
+		}
+		for k, v := range o.DropsByPeer {
+			m[k] += v
+		}
+		out.DropsByPeer = m
+	}
+	return out
+}
+
+// String renders a stable one-line summary, e.g.
+//
+//	sends=42 drops=3 (conn=2 queue-full=1) reconnects=1 queued=0 out=9801 in=7730
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sends=%d drops=%d", s.Sends, s.Drops)
+	if s.Drops > 0 {
+		parts := make([]string, 0, len(dropCauseOrder))
+		for _, c := range dropCauseOrder {
+			if n := s.DropsByCause[c]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", c, n))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, " (%s)", strings.Join(parts, " "))
+		}
+	}
+	fmt.Fprintf(&b, " reconnects=%d queued=%d out=%d in=%d",
+		s.Reconnects, s.QueueDepth, s.BytesSent, s.BytesRecv)
+	return b.String()
+}
+
+// counters is the mutable tally behind Stats snapshots. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type counters struct {
+	mu         sync.Mutex
+	enqueued   uint64
+	sends      uint64
+	drops      uint64
+	reconnects uint64
+	bytesSent  uint64
+	bytesRecv  uint64
+	queueDepth int
+	byCause    map[DropCause]uint64
+	byPeer     map[consensus.ProcessID]uint64
+}
+
+func (c *counters) enqueue() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enqueued++
+	c.queueDepth++
+}
+
+func (c *counters) dequeue() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queueDepth--
+}
+
+func (c *counters) sent(bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sends++
+	c.bytesSent += uint64(bytes)
+}
+
+func (c *counters) received(bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bytesRecv += uint64(bytes)
+}
+
+func (c *counters) drop(cause DropCause, peer consensus.ProcessID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drops++
+	if c.byCause == nil {
+		c.byCause = make(map[DropCause]uint64)
+	}
+	c.byCause[cause]++
+	if c.byPeer == nil {
+		c.byPeer = make(map[consensus.ProcessID]uint64)
+	}
+	c.byPeer[peer]++
+}
+
+func (c *counters) reconnect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reconnects++
+}
+
+func (c *counters) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Enqueued:   c.enqueued,
+		Sends:      c.sends,
+		Drops:      c.drops,
+		Reconnects: c.reconnects,
+		BytesSent:  c.bytesSent,
+		BytesRecv:  c.bytesRecv,
+		QueueDepth: c.queueDepth,
+	}
+	if len(c.byCause) > 0 {
+		s.DropsByCause = make(map[DropCause]uint64, len(c.byCause))
+		for k, v := range c.byCause {
+			s.DropsByCause[k] = v
+		}
+	}
+	if len(c.byPeer) > 0 {
+		s.DropsByPeer = make(map[consensus.ProcessID]uint64, len(c.byPeer))
+		for k, v := range c.byPeer {
+			s.DropsByPeer[k] = v
+		}
+	}
+	return s
+}

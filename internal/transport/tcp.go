@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -13,8 +15,25 @@ import (
 	"repro/internal/consensus"
 )
 
-// maxFrame bounds a single wire frame (defense against corrupt peers).
+// maxFrame bounds a single wire frame, enforced on both sides: readFrame
+// rejects oversized headers and writeFrame refuses to emit a frame the
+// receiver would reject (one oversized message must not poison the link).
 const maxFrame = 1 << 20
+
+// frameHeaderLen is the length prefix preceding every frame.
+const frameHeaderLen = 4
+
+// Sentinel errors for the enqueue-or-drop send path, matchable with
+// errors.Is. All Send errors are advisory: the message is dropped and the
+// protocol timers retransmit.
+var (
+	// ErrClosed reports a send on a closed transport.
+	ErrClosed = errors.New("transport closed")
+	// ErrQueueFull reports that the peer's bounded outbound queue was full.
+	ErrQueueFull = errors.New("outbound queue full")
+	// ErrOversize reports a frame exceeding maxFrame.
+	ErrOversize = errors.New("frame exceeds size limit")
+)
 
 // tcpFrame is the wire envelope: the sender identity plus the codec's
 // self-describing message encoding.
@@ -23,33 +42,113 @@ type tcpFrame struct {
 	Msg  json.RawMessage `json:"msg"`
 }
 
+// TCPOptions tunes the per-peer send path. The zero value of any field
+// selects its default.
+type TCPOptions struct {
+	// QueueDepth bounds each peer's outbound queue (default 1024). When
+	// the queue is full Send drops the message and returns ErrQueueFull.
+	QueueDepth int
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds one framed write; a peer that stops reading
+	// stalls its own writer for at most this long (default 2s).
+	WriteTimeout time.Duration
+	// BackoffMin and BackoffMax bound the exponential reconnect backoff
+	// (defaults 25ms and 1s). While the backoff window is open, frames to
+	// that peer are dropped immediately rather than queued behind a dial.
+	BackoffMin time.Duration
+	// BackoffMax caps the backoff; jitter of up to backoff/2 is added.
+	BackoffMax time.Duration
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 25 * time.Millisecond
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = time.Second
+		if o.BackoffMax < o.BackoffMin {
+			o.BackoffMax = o.BackoffMin
+		}
+	}
+	return o
+}
+
 // TCP is a transport over TCP with 4-byte length-prefixed JSON frames.
-// Outbound connections are dialed lazily and re-dialed on failure; a failed
-// send drops the message (protocol timers retransmit).
+//
+// Each peer has a bounded outbound queue drained by a dedicated writer
+// goroutine, so a slow or dead peer can never stall sends to healthy ones:
+// Send only enqueues (or drops, when the queue is full) and returns
+// immediately. The writer dials lazily, applies write deadlines, and
+// reconnects with capped exponential backoff plus jitter; while the link is
+// down its frames are dropped, which the protocols tolerate through timer
+// retransmission. Stats exposes send/drop/reconnect counters.
 type TCP struct {
 	self    consensus.ProcessID
-	addrs   map[consensus.ProcessID]string
 	codec   *consensus.Codec
 	handler Handler
+	opts    TCPOptions
 
 	ln net.Listener
 	wg sync.WaitGroup
 
+	// dialCtx is canceled on Close, aborting in-flight dials.
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+
+	stats counters
+
 	mu      sync.Mutex
-	conns   map[consensus.ProcessID]net.Conn
+	addrs   map[consensus.ProcessID]string
+	peers   map[consensus.ProcessID]*tcpPeer
 	inbound map[net.Conn]struct{}
 	closed  bool
 }
 
 var _ Transport = (*TCP)(nil)
 
-// NewTCP starts listening on addrs[self] and delivers inbound messages to
-// handler. addrs must name every peer, including self.
+// tcpPeer is one peer's outbound state: the frame queue its writer drains
+// and the link state shared between the writer and SetPeerAddr/Close.
+type tcpPeer struct {
+	id    consensus.ProcessID
+	queue chan []byte
+
+	mu       sync.Mutex
+	conn     net.Conn
+	closed   bool
+	everConn bool          // a dial has succeeded before (next success is a reconnect)
+	backoff  time.Duration // next backoff step; 0 means start at BackoffMin
+	nextDial time.Time     // dial attempts before this instant drop the frame
+}
+
+// NewTCP starts listening on addrs[self] with default options and delivers
+// inbound messages to handler. addrs must name every peer, including self.
 func NewTCP(
 	self consensus.ProcessID,
 	addrs map[consensus.ProcessID]string,
 	codec *consensus.Codec,
 	handler Handler,
+) (*TCP, error) {
+	return NewTCPWithOptions(self, addrs, codec, handler, TCPOptions{})
+}
+
+// NewTCPWithOptions is NewTCP with explicit send-path tuning.
+func NewTCPWithOptions(
+	self consensus.ProcessID,
+	addrs map[consensus.ProcessID]string,
+	codec *consensus.Codec,
+	handler Handler,
+	opts TCPOptions,
 ) (*TCP, error) {
 	addr, ok := addrs[self]
 	if !ok {
@@ -59,14 +158,18 @@ func NewTCP(
 	if err != nil {
 		return nil, fmt.Errorf("tcp: listen %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	t := &TCP{
-		self:    self,
-		addrs:   make(map[consensus.ProcessID]string, len(addrs)),
-		codec:   codec,
-		handler: handler,
-		ln:      ln,
-		conns:   make(map[consensus.ProcessID]net.Conn),
-		inbound: make(map[net.Conn]struct{}),
+		self:       self,
+		codec:      codec,
+		handler:    handler,
+		opts:       opts.withDefaults(),
+		ln:         ln,
+		dialCtx:    ctx,
+		dialCancel: cancel,
+		addrs:      make(map[consensus.ProcessID]string, len(addrs)),
+		peers:      make(map[consensus.ProcessID]*tcpPeer),
+		inbound:    make(map[net.Conn]struct{}),
 	}
 	for p, a := range addrs {
 		t.addrs[p] = a
@@ -80,20 +183,24 @@ func NewTCP(
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
 
 // SetPeerAddr updates the address book entry for a peer, dropping any
-// cached connection. Useful when peers bind to ":0" and publish their real
-// addresses after startup.
+// established connection so the writer re-dials the new address promptly.
+// Useful when peers bind to ":0" and publish their real addresses after
+// startup.
 func (t *TCP) SetPeerAddr(p consensus.ProcessID, addr string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.addrs[p] = addr
-	if c, ok := t.conns[p]; ok {
-		c.Close()
-		delete(t.conns, p)
+	pe := t.peers[p]
+	t.mu.Unlock()
+	if pe != nil {
+		pe.resetLink()
 	}
 }
 
 // Self implements Transport.
 func (t *TCP) Self() consensus.ProcessID { return t.self }
+
+// Stats implements Transport.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
 
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
@@ -128,19 +235,41 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		t.stats.received(frameHeaderLen + len(frame))
 		var f tcpFrame
 		if err := json.Unmarshal(frame, &f); err != nil {
 			return
+		}
+		from := consensus.ProcessID(f.From)
+		if !t.knownPeer(from) {
+			// A wire-supplied identity that is negative or absent from
+			// the address book never reaches protocol code.
+			t.stats.drop(DropBadSender, from)
+			continue
 		}
 		msg, err := t.codec.Decode(f.Msg)
 		if err != nil {
 			continue // unknown kind: ignore, stay connected
 		}
-		t.handler(consensus.ProcessID(f.From), msg)
+		t.handler(from, msg)
 	}
 }
 
-// Send implements Transport.
+// knownPeer reports whether p is a valid sender identity.
+func (t *TCP) knownPeer(p consensus.ProcessID) bool {
+	if int(p) < 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.addrs[p]
+	return ok
+}
+
+// Send implements Transport: it encodes msg and enqueues the frame on the
+// peer's outbound queue, never blocking on network I/O. A full queue,
+// oversized frame, or closed transport drops the message with an advisory
+// error; the protocols retransmit on their timers.
 func (t *TCP) Send(to consensus.ProcessID, msg consensus.Message) error {
 	body, err := t.codec.Encode(msg)
 	if err != nil {
@@ -150,55 +279,196 @@ func (t *TCP) Send(to consensus.ProcessID, msg consensus.Message) error {
 	if err != nil {
 		return fmt.Errorf("tcp send: %w", err)
 	}
-	conn, err := t.conn(to)
+	if len(frame) > maxFrame {
+		t.stats.drop(DropOversize, to)
+		return fmt.Errorf("tcp send to %s: %d-byte frame: %w", to, len(frame), ErrOversize)
+	}
+	p, err := t.peer(to)
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := writeFrame(conn, frame); err != nil {
-		// Drop the connection; the next send re-dials.
-		conn.Close()
-		if t.conns[to] == conn {
-			delete(t.conns, to)
-		}
-		return fmt.Errorf("tcp send to %s: %w", to, err)
+	select {
+	case p.queue <- frame:
+		t.stats.enqueue()
+		return nil
+	default:
+		t.stats.drop(DropQueueFull, to)
+		return fmt.Errorf("tcp send to %s: %w", to, ErrQueueFull)
 	}
-	return nil
 }
 
-// conn returns a cached or freshly dialed connection to the peer.
-func (t *TCP) conn(to consensus.ProcessID) (net.Conn, error) {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil, errors.New("tcp: closed")
-	}
-	if c, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		return c, nil
-	}
-	addr, ok := t.addrs[to]
-	t.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("tcp: no address for %s", to)
-	}
-	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("tcp dial %s: %w", to, err)
-	}
+// peer returns (starting if needed) the outbound queue state for a peer.
+func (t *TCP) peer(to consensus.ProcessID) (*tcpPeer, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		c.Close()
-		return nil, errors.New("tcp: closed")
+		t.stats.drop(DropClosed, to)
+		return nil, fmt.Errorf("tcp send to %s: %w", to, ErrClosed)
 	}
-	if prev, ok := t.conns[to]; ok {
-		c.Close() // lost the race; reuse the existing connection
-		return prev, nil
+	if p, ok := t.peers[to]; ok {
+		return p, nil
 	}
-	t.conns[to] = c
-	return c, nil
+	if _, ok := t.addrs[to]; !ok {
+		return nil, fmt.Errorf("tcp: no address for %s", to)
+	}
+	p := &tcpPeer{id: to, queue: make(chan []byte, t.opts.QueueDepth)}
+	t.peers[to] = p
+	t.wg.Add(1)
+	go t.writeLoop(p)
+	return p, nil
+}
+
+// writeLoop drains one peer's queue until the transport closes.
+func (t *TCP) writeLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	// Jitter source; transport is a host package, so wall-clock seeding is
+	// fine (the determinism contract covers only the protocol packages).
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(p.id)<<32))
+	for {
+		select {
+		case <-t.dialCtx.Done():
+			p.shutdown()
+			return
+		case frame := <-p.queue:
+			t.stats.dequeue()
+			t.writeOne(p, frame, rng)
+		}
+	}
+}
+
+// writeOne delivers one frame: it ensures a connection (honouring the
+// backoff window — frames due before the next allowed dial are dropped
+// immediately so the writer never stalls on a dead peer) and performs one
+// deadline-bounded framed write. Any failure drops the frame.
+func (t *TCP) writeOne(p *tcpPeer, frame []byte, rng *rand.Rand) {
+	conn := p.current()
+	if conn == nil {
+		c, ok := t.dialPeer(p, rng)
+		if !ok {
+			t.stats.drop(DropConn, p.id)
+			return
+		}
+		conn = c
+	}
+	conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	if err := writeFrame(conn, frame); err != nil {
+		p.dropConn(conn)
+		t.armBackoff(p, rng)
+		t.stats.drop(DropConn, p.id)
+		return
+	}
+	t.stats.sent(frameHeaderLen + len(frame))
+}
+
+// dialPeer attempts one connection to p's current address. It fails
+// immediately (without blocking) while the backoff window is open.
+func (t *TCP) dialPeer(p *tcpPeer, rng *rand.Rand) (net.Conn, bool) {
+	if !p.dialDue() {
+		return nil, false
+	}
+	t.mu.Lock()
+	addr, ok := t.addrs[p.id]
+	t.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	d := net.Dialer{Timeout: t.opts.DialTimeout}
+	c, err := d.DialContext(t.dialCtx, "tcp", addr)
+	if err != nil {
+		t.armBackoff(p, rng)
+		return nil, false
+	}
+	reconnected, adopted := p.adopt(c)
+	if !adopted {
+		c.Close() // transport closed while dialing
+		return nil, false
+	}
+	if reconnected {
+		t.stats.reconnect()
+	}
+	return c, true
+}
+
+// armBackoff opens p's backoff window after a dial or write failure,
+// doubling the delay up to BackoffMax with up to 50% jitter.
+func (t *TCP) armBackoff(p *tcpPeer, rng *rand.Rand) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.backoff
+	if b < t.opts.BackoffMin {
+		b = t.opts.BackoffMin
+	}
+	jitter := time.Duration(rng.Int63n(int64(b)/2 + 1))
+	p.nextDial = time.Now().Add(b + jitter)
+	p.backoff = 2 * b
+	if p.backoff > t.opts.BackoffMax {
+		p.backoff = t.opts.BackoffMax
+	}
+}
+
+// current returns the established connection, if any.
+func (p *tcpPeer) current() net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn
+}
+
+// dialDue reports whether the backoff window has elapsed.
+func (p *tcpPeer) dialDue() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !time.Now().Before(p.nextDial)
+}
+
+// adopt installs a freshly dialed connection, reporting whether it is a
+// reconnect and whether the peer is still open.
+func (p *tcpPeer) adopt(c net.Conn) (reconnected, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false, false
+	}
+	p.conn = c
+	reconnected = p.everConn
+	p.everConn = true
+	p.backoff = 0
+	p.nextDial = time.Time{}
+	return reconnected, true
+}
+
+// dropConn closes and forgets a failed connection (if still current).
+func (p *tcpPeer) dropConn(c net.Conn) {
+	c.Close()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == c {
+		p.conn = nil
+	}
+}
+
+// resetLink drops the connection and clears the backoff so the writer
+// re-dials (a possibly updated address) on the next frame.
+func (p *tcpPeer) resetLink() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	p.backoff = 0
+	p.nextDial = time.Time{}
+}
+
+// shutdown marks the peer closed and severs its connection, unblocking any
+// in-flight write.
+func (p *tcpPeer) shutdown() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
 }
 
 // Close implements Transport.
@@ -209,27 +479,35 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
-	for _, c := range t.conns {
-		c.Close()
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
 	}
-	t.conns = make(map[consensus.ProcessID]net.Conn)
+	inbound := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
-		c.Close()
+		inbound = append(inbound, c)
 	}
 	t.mu.Unlock()
+	t.dialCancel()
+	for _, p := range peers {
+		p.shutdown()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
 	err := t.ln.Close()
 	t.wg.Wait()
 	return err
 }
 
 func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
 	if size > maxFrame {
-		return nil, fmt.Errorf("frame of %d bytes exceeds limit", size)
+		return nil, fmt.Errorf("frame of %d bytes: %w", size, ErrOversize)
 	}
 	buf := make([]byte, size)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -238,8 +516,13 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
+// writeFrame emits one length-prefixed frame, refusing sizes the receiving
+// side's readFrame would reject (which would poison the connection there).
 func writeFrame(w io.Writer, frame []byte) error {
-	var hdr [4]byte
+	if len(frame) > maxFrame {
+		return fmt.Errorf("frame of %d bytes: %w", len(frame), ErrOversize)
+	}
+	var hdr [frameHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err

@@ -6,7 +6,10 @@
 // A transport delivers whole messages with their sender identity; ordering
 // is per-link FIFO and delivery is at-most-once per send (the protocols
 // tolerate loss through retransmission on their timers, per their design
-// for partial synchrony).
+// for partial synchrony). Sends never block on a slow destination: each
+// link has a bounded queue and messages beyond it drop. Every transport
+// counts sends, drops by cause, reconnects, bytes and queue depth, exposed
+// through Stats — see docs/TRANSPORT.md for the full contract.
 package transport
 
 import "repro/internal/consensus"
@@ -20,9 +23,12 @@ type Handler func(from consensus.ProcessID, msg consensus.Message)
 type Transport interface {
 	// Self returns the local process identity.
 	Self() consensus.ProcessID
-	// Send transmits msg to the peer. Errors are advisory: a send to a
-	// crashed or unreachable peer may simply drop.
+	// Send transmits msg to the peer without blocking on network I/O.
+	// Errors are advisory: a send to a crashed or unreachable peer, or one
+	// whose queue is full, drops the message (timers retransmit).
 	Send(to consensus.ProcessID, msg consensus.Message) error
+	// Stats returns a snapshot of the transport's counters.
+	Stats() Stats
 	// Close releases resources and stops delivery.
 	Close() error
 }
