@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench report examples vet lint cover fuzz clean
+.PHONY: all build test test-short race bench report examples vet lint cover fuzz crash clean
 
 all: build vet lint test
 
@@ -49,6 +49,12 @@ cover:
 fuzz:
 	$(GO) test ./internal/consensus -run=NONE -fuzz=FuzzCodecDecode -fuzztime=30s
 	$(GO) test ./internal/core -run=NONE -fuzz=FuzzDeliverRobustness -fuzztime=30s
+	$(GO) test ./internal/wal -run=NONE -fuzz=FuzzRecordCodec -fuzztime=30s
+
+# Crash-injection suite: torn writes, failpoints mid-record, kill-and-restart
+# recovery — see docs/DURABILITY.md.
+crash:
+	$(GO) test -run '^TestCrash' -v -timeout 300s ./internal/wal/... ./internal/smr/...
 
 clean:
 	rm -rf out

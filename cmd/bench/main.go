@@ -63,10 +63,10 @@ func run() error {
 	ids := bench.ExperimentIDs()
 	if *expFlag != "" {
 		var sel []string
-		for _, id := range strings.Split(*expFlag, ",") {
-			id = strings.TrimSpace(strings.ToUpper(id))
-			if _, ok := exps[id]; !ok {
-				return fmt.Errorf("unknown experiment %q (have %v)", id, ids)
+		for _, raw := range strings.Split(*expFlag, ",") {
+			id, ok := resolveExpID(ids, strings.TrimSpace(raw))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (have %v)", strings.TrimSpace(raw), ids)
 			}
 			sel = append(sel, id)
 		}
@@ -86,6 +86,17 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// resolveExpID matches a user-supplied experiment id case-insensitively
+// against the registry (ids like "T3b" are mixed-case).
+func resolveExpID(ids []string, raw string) (string, bool) {
+	for _, id := range ids {
+		if strings.EqualFold(id, raw) {
+			return id, true
+		}
+	}
+	return "", false
 }
 
 func writeCSV(dir, id string, res *bench.Result) error {

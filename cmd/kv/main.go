@@ -4,9 +4,10 @@
 // Replica (one per process; consensus addresses shared by all, client port
 // is consensus port + 1000):
 //
-//	kv -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -f 1 -e 1
+//	kv -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -f 1 -e 1 \
+//	   -data-dir /var/lib/kv0 -fsync always
 //
-// Client (reads commands from stdin, PUT/GET/DEL/STATS, fails over between
+// Client (reads commands from stdin, PUT/GET/DEL/STATS/INFO, fails over between
 // proxies):
 //
 //	kv -connect 127.0.0.1:8100,127.0.0.1:8101,127.0.0.1:8102
@@ -25,11 +26,13 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/smr"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -48,6 +51,10 @@ func run() error {
 		tickMS  = flag.Int("tick", 5, "milliseconds per protocol tick (Δ = 10 ticks)")
 		stats   = flag.Duration("stats", 30*time.Second, "period between transport stats lines (0 disables)")
 		connect = flag.String("connect", "", "client mode: comma-separated client addresses")
+		dataDir = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty runs in-memory")
+		fsync   = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
+		fsyncIv = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
+		snapEv  = flag.Int("snap-every", 64, "applied commands between snapshots (<0 disables)")
 	)
 	flag.Parse()
 
@@ -57,10 +64,23 @@ func run() error {
 	if *id < 0 || *peers == "" {
 		return fmt.Errorf("replica mode needs -id and -peers; client mode needs -connect")
 	}
-	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *tickMS, *stats)
+	var dur *smr.DurabilityOptions
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		dur = &smr.DurabilityOptions{
+			Dir:           *dataDir,
+			Policy:        policy,
+			SyncEvery:     *fsyncIv,
+			SnapshotEvery: *snapEv,
+		}
+	}
+	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *tickMS, *stats, dur)
 }
 
-func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Duration) error {
+func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Duration, dur *smr.DurabilityOptions) error {
 	n := len(peerList)
 	cfg := consensus.Config{ID: consensus.ProcessID(id), N: n, F: f, E: e, Delta: 10}
 	replica, err := smr.NewReplica(cfg, time.Duration(tickMS)*time.Millisecond)
@@ -68,6 +88,17 @@ func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Du
 		return err
 	}
 	defer replica.Close()
+
+	if dur != nil {
+		rec, err := replica.EnableDurability(*dur)
+		if err != nil {
+			return err
+		}
+		if rec.Recovered {
+			fmt.Printf("recovered: snapshot applied=%d, wal records=%d, torn tail=%t, applied=%d, open slots=%d\n",
+				rec.SnapshotApplied, rec.WalRecords, rec.TornTail, rec.Applied, rec.OpenSlots)
+		}
+	}
 
 	codec := consensus.NewCodec()
 	smr.RegisterMessages(codec)
@@ -103,16 +134,21 @@ func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Du
 				if st, ok := replica.TransportStats(); ok {
 					fmt.Printf("transport: %s\n", st)
 				}
+				fmt.Printf("info: %s\n", replica.Info())
 			}
 		}()
 	}
 
+	// SIGTERM and SIGINT both shut down gracefully: the deferred Close
+	// syncs and closes the WAL, so a restart recovers without taking the
+	// torn-tail path.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	if st, ok := replica.TransportStats(); ok {
 		fmt.Printf("transport (final): %s\n", st)
 	}
+	fmt.Printf("info (final): %s\n", replica.Info())
 	fmt.Println("shutting down")
 	return nil
 }
@@ -194,8 +230,15 @@ func clientMain(addrs []string) error {
 			} else {
 				fmt.Println("STATS", line)
 			}
+		case "INFO":
+			line, err := client.Info()
+			if err != nil {
+				fmt.Println("ERR", err)
+			} else {
+				fmt.Println("INFO", line)
+			}
 		default:
-			fmt.Println("commands: PUT GET DEL STATS QUIT")
+			fmt.Println("commands: PUT GET DEL STATS INFO QUIT")
 		}
 		fmt.Print("> ")
 	}

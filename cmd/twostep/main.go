@@ -21,8 +21,11 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/consensus"
@@ -30,6 +33,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/omega"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -51,6 +55,8 @@ func run() error {
 		propose = flag.String("propose", "", `client mode: "<key> [data]" to propose`)
 		proxy   = flag.String("proxy", "", "client mode: proxy's client address")
 		timeout = flag.Duration("timeout", 30*time.Second, "client decision timeout")
+		dataDir = flag.String("data-dir", "", "durability directory (journals ballot/vote state); empty runs in-memory")
+		fsync   = flag.String("fsync", "always", "journal fsync policy: always | interval | never")
 	)
 	flag.Parse()
 
@@ -60,10 +66,10 @@ func run() error {
 	if *id < 0 || *peers == "" {
 		return fmt.Errorf("server mode needs -id and -peers; client mode needs -propose and -proxy")
 	}
-	return serverMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *object, *tickMS, *stats)
+	return serverMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *object, *tickMS, *stats, *dataDir, *fsync)
 }
 
-func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, statsEvery time.Duration) error {
+func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, statsEvery time.Duration, dataDir, fsync string) error {
 	n := len(peerList)
 	cfg := consensus.Config{ID: consensus.ProcessID(id), N: n, F: f, E: e, Delta: 10}
 	if err := cfg.Validate(); err != nil {
@@ -84,6 +90,50 @@ func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, st
 		return err
 	}
 	host := node.New(n, nil, time.Duration(tickMS)*time.Millisecond, det, proto)
+
+	if dataDir != "" {
+		// Journal the core instance's durable state (ballot, vote, decided
+		// value) so a restarted process re-enters the protocol with its
+		// promises intact instead of as an amnesiac fresh node.
+		policy, err := wal.ParseSyncPolicy(fsync)
+		if err != nil {
+			return err
+		}
+		w, winfo, err := wal.Open(filepath.Join(dataDir, "wal"), wal.Options{Policy: policy})
+		if err != nil {
+			return err
+		}
+		var last []byte
+		if _, err := w.Replay(0, func(_ uint64, p []byte) error {
+			last = append(last[:0], p...)
+			return nil
+		}); err != nil {
+			w.Close()
+			return err
+		}
+		if last != nil {
+			if err := proto.RestoreJSON(last); err != nil {
+				w.Close()
+				return err
+			}
+			fmt.Printf("recovered: state=%s (torn tail=%t)\n", last, winfo.TornTail)
+		}
+		persisted := string(last)
+		host.SetPersist(func() error {
+			st, err := proto.SnapshotJSON()
+			if err != nil {
+				return err
+			}
+			if string(st) == persisted {
+				return nil
+			}
+			if _, err := w.Append(st); err != nil {
+				return err
+			}
+			persisted = string(st)
+			return nil
+		}, w.Close)
+	}
 
 	addrs := make(map[consensus.ProcessID]string, n)
 	for i, a := range peerList {
@@ -118,6 +168,16 @@ func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, st
 			}
 		}()
 	}
+
+	// SIGTERM and SIGINT close the client listener; the accept loop then
+	// returns and the deferred host.Close syncs and closes the journal.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("shutting down")
+		ln.Close()
+	}()
 
 	for {
 		conn, err := ln.Accept()

@@ -10,8 +10,12 @@ import (
 // protocolPackages are the import paths whose code must be a pure
 // deterministic state machine: the Figure-1 core, the comparison protocols,
 // the replay/model-checking layers that re-execute them, and the quorum
-// arithmetic they share. The simulator and the live host are deliberately NOT
-// listed — they own the clock and the network on the protocols' behalf.
+// arithmetic they share. The WAL is listed too: recovery replays it to
+// rebuild protocol state, so a hidden clock or goroutine there would unsound
+// crash-recovery the same way it unsounds replay — which is why the WAL owns
+// no fsync timer (SyncInterval is host-driven). The simulator and the live
+// host are deliberately NOT listed — they own the clock and the network on
+// the protocols' behalf.
 var protocolPackages = map[string]bool{
 	"repro/internal/consensus":  true,
 	"repro/internal/core":       true,
@@ -21,6 +25,7 @@ var protocolPackages = map[string]bool{
 	"repro/internal/lowerbound": true,
 	"repro/internal/mc":         true,
 	"repro/internal/quorum":     true,
+	"repro/internal/wal":        true,
 }
 
 // IsProtocolPackage reports whether path is subject to the determinism

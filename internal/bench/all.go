@@ -11,18 +11,19 @@ import (
 // T5 (0 = default).
 func Experiments(soakRuns int) map[string]func() *Result {
 	return map[string]func() *Result{
-		"T1": Frontier,
-		"T2": Coverage,
-		"T3": Recovery,
-		"T4": LowerBounds,
-		"T5": func() *Result { return SoakTable(soakRuns) },
-		"T6": ModelCheck,
-		"F1": LatencyVsCrashes,
-		"F2": LatencyVsConflicts,
-		"F3": WAN,
-		"F4": Throughput,
-		"F5": Placement,
-		"A1": Ablation,
+		"T1":  Frontier,
+		"T2":  Coverage,
+		"T3":  Recovery,
+		"T3b": DurableRecovery,
+		"T4":  LowerBounds,
+		"T5":  func() *Result { return SoakTable(soakRuns) },
+		"T6":  ModelCheck,
+		"F1":  LatencyVsCrashes,
+		"F2":  LatencyVsConflicts,
+		"F3":  WAN,
+		"F4":  Throughput,
+		"F5":  Placement,
+		"A1":  Ablation,
 	}
 }
 

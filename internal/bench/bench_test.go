@@ -22,6 +22,29 @@ func TestRecoveryAllExpected(t *testing.T) {
 	assertNoUnexpected(t, Recovery())
 }
 
+func TestDurableRecoveryShape(t *testing.T) {
+	r := DurableRecovery()
+	assertNoUnexpected(t, r)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per fsync policy", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if strings.Contains(row[6], "error:") {
+			t.Errorf("policy %s failed: %v", row[0], row)
+			continue
+		}
+		// Every append that returned without error must be recovered, plus
+		// nothing else: the torn record is truncated away, so the recovered
+		// count equals the acknowledged count.
+		if want := "513/513"; row[3] != want {
+			t.Errorf("policy %s: crash recovery %q, want %q", row[0], row[3], want)
+		}
+		if row[4] != "✓" {
+			t.Errorf("policy %s: torn tail not detected: %v", row[0], row)
+		}
+	}
+}
+
 func TestLowerBoundsAllExpected(t *testing.T) {
 	assertNoUnexpected(t, LowerBounds())
 }

@@ -33,6 +33,12 @@ type Host struct {
 	decided consensus.Value
 	waiters []chan consensus.Value
 	closed  bool
+
+	// persistStep, when set, runs under the lock after every step and
+	// before any resulting sends are flushed; persistClose runs on Close.
+	persistStep  func() error
+	persistClose func() error
+	persistErr   error
 }
 
 // New builds a host for n processes with the given tick length. The
@@ -63,9 +69,53 @@ func New(n int, tr transport.Transport, tick time.Duration, protos ...consensus.
 //	host.BindTransport(tr)
 func (h *Host) Handle(from consensus.ProcessID, msg consensus.Message) {
 	h.mu.Lock()
-	outbound := h.deliverLocked(from, msg)
+	outbound := h.persistLocked(h.deliverLocked(from, msg))
 	h.mu.Unlock()
 	h.flush(outbound)
+}
+
+// SetPersist installs a persistence hook: step runs under the host lock
+// after every protocol step (Start, Propose, deliver, tick) and before any
+// message that step produced is flushed, so no promise or vote escapes the
+// process without being durable first; closer runs once on Close. A step
+// failure closes the host and discards the step's outbound messages —
+// after a journaling failure, silence is the only safe output. Call before
+// Start.
+func (h *Host) SetPersist(step func() error, closer func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.persistStep = step
+	h.persistClose = closer
+}
+
+// persistLocked runs the persistence hook over a step's outbound batch.
+func (h *Host) persistLocked(outbound []outboundMsg) []outboundMsg {
+	if h.closed {
+		return nil
+	}
+	if h.persistStep == nil {
+		return outbound
+	}
+	if err := h.persistStep(); err != nil {
+		h.persistErr = err
+		h.closed = true
+		for _, t := range h.timers {
+			t.Stop()
+		}
+		for _, ch := range h.waiters {
+			close(ch)
+		}
+		h.waiters = nil
+		return nil
+	}
+	return outbound
+}
+
+// PersistErr reports the journaling failure that closed the host, if any.
+func (h *Host) PersistErr() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.persistErr
 }
 
 // BindTransport installs the transport after construction, for the
@@ -84,6 +134,7 @@ func (h *Host) Start() {
 	for _, p := range h.protos {
 		outbound = append(outbound, h.applyLocked(p, p.Start())...)
 	}
+	outbound = h.persistLocked(outbound)
 	h.mu.Unlock()
 	h.flush(outbound)
 }
@@ -96,6 +147,7 @@ func (h *Host) Propose(v consensus.Value) {
 	for _, p := range h.protos {
 		outbound = append(outbound, h.applyLocked(p, p.Propose(v))...)
 	}
+	outbound = h.persistLocked(outbound)
 	h.mu.Unlock()
 	h.flush(outbound)
 }
@@ -149,8 +201,16 @@ func (h *Host) Close() error {
 		close(ch)
 	}
 	h.waiters = nil
+	closer := h.persistClose
 	h.mu.Unlock()
-	return h.tr.Close()
+	var firstErr error
+	if closer != nil {
+		firstErr = closer()
+	}
+	if err := h.tr.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // outboundMsg is a send deferred until the host lock is released (transport
@@ -225,7 +285,7 @@ func (h *Host) startTimerLocked(p consensus.Protocol, eff consensus.StartTimer) 
 			h.mu.Unlock()
 			return
 		}
-		outbound := h.applyLocked(p, p.Tick(eff.Timer))
+		outbound := h.persistLocked(h.applyLocked(p, p.Tick(eff.Timer)))
 		h.mu.Unlock()
 		h.flush(outbound)
 	})

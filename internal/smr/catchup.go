@@ -26,11 +26,14 @@ type CatchupRequest struct {
 }
 
 // CatchupReply carries a state snapshot: the full store as of Applied
-// applied slots. Installing it replaces the receiver's store and lets it
-// skip every slot below Applied.
+// applied slots, plus decided values for slots at or above Applied that
+// the sender knows about but has not yet applied (gaps). Installing it
+// replaces the receiver's store, lets it skip every slot below Applied,
+// and closes decide gaps the receiver may have missed to message drops.
 type CatchupReply struct {
-	Applied int               `json:"applied"`
-	Store   map[string]string `json:"store"`
+	Applied int                     `json:"applied"`
+	Store   map[string]string       `json:"store"`
+	Decided map[int]consensus.Value `json:"decided,omitempty"`
 }
 
 // Kind implements consensus.Message.
@@ -52,25 +55,26 @@ func registerCatchupMessages(codec *consensus.Codec) {
 // snapshotJSON serializes a replica state snapshot (exported via
 // (*Replica).SnapshotJSON for external persistence).
 type replicaSnapshot struct {
-	Applied int               `json:"applied"`
-	Store   map[string]string `json:"store"`
+	Applied int                     `json:"applied"`
+	Store   map[string]string       `json:"store"`
+	Decided map[int]consensus.Value `json:"decided,omitempty"`
 }
 
-func encodeSnapshot(applied int, store map[string]string) ([]byte, error) {
+func encodeSnapshot(applied int, store map[string]string, decided map[int]consensus.Value) ([]byte, error) {
 	cp := make(map[string]string, len(store))
 	for k, v := range store {
 		cp[k] = v
 	}
-	return json.Marshal(replicaSnapshot{Applied: applied, Store: cp})
+	return json.Marshal(replicaSnapshot{Applied: applied, Store: cp, Decided: decided})
 }
 
-func decodeSnapshot(data []byte) (int, map[string]string, error) {
+func decodeSnapshot(data []byte) (int, map[string]string, map[int]consensus.Value, error) {
 	var s replicaSnapshot
 	if err := json.Unmarshal(data, &s); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if s.Store == nil {
 		s.Store = make(map[string]string)
 	}
-	return s.Applied, s.Store, nil
+	return s.Applied, s.Store, s.Decided, nil
 }

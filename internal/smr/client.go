@@ -93,6 +93,20 @@ func (c *Client) Stats() (string, error) {
 	return strings.TrimPrefix(reply, "STATS "), nil
 }
 
+// Info fetches the current proxy replica's operational summary line
+// (applied index, open slots, WAL and snapshot state; the server's INFO
+// command).
+func (c *Client) Info() (string, error) {
+	reply, err := c.roundTrip("INFO")
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(reply, "INFO ") {
+		return "", fmt.Errorf("smr client: %s", reply)
+	}
+	return strings.TrimPrefix(reply, "INFO "), nil
+}
+
 // Proxy returns the address of the proxy currently in use.
 func (c *Client) Proxy() string {
 	c.mu.Lock()

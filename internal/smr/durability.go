@@ -1,0 +1,547 @@
+package smr
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// The durability layer turns the replica from the paper's crash-stop model
+// into crash-recovery: every per-slot durable fact (current ballot, last
+// vote, decided value) is journaled to a WAL before any message or client
+// acknowledgement that depends on it leaves the process, and the applied
+// store state is checkpointed into atomic snapshots so the WAL can be
+// truncated. On restart the replica replays snapshot + WAL tail and
+// resumes with its promises intact — the property the paper's recovery
+// rule (set R, Lemmas 3 and 7) assumes of a recovering acceptor.
+
+// DurabilityOptions configures EnableDurability.
+type DurabilityOptions struct {
+	// Dir is the data directory; the WAL lives in Dir/wal and snapshots in
+	// Dir/snap.
+	Dir string
+	// Policy is the WAL fsync policy. With SyncInterval the replica drives
+	// the sync from its own timer every SyncEvery.
+	Policy wal.SyncPolicy
+	// SyncEvery is the fsync period under SyncInterval (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes caps WAL segment size (default wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// SnapshotEvery is how many applied commands elapse between automatic
+	// snapshots (default 64; <0 disables automatic snapshots).
+	SnapshotEvery int
+	// FailpointLimit, when >0, injects a crash after that many WAL bytes
+	// (tests only; see wal.Options.FailpointLimit).
+	FailpointLimit int64
+}
+
+const defaultSnapshotEvery = 64
+
+// RecoveryInfo reports what EnableDurability reconstructed.
+type RecoveryInfo struct {
+	Recovered       bool // any prior on-disk state was found
+	SnapshotApplied int  // applied index of the snapshot used (0 if none)
+	WalRecords      int  // WAL records replayed on top of the snapshot
+	TornTail        bool // the WAL tail was torn and truncated
+	Applied         int  // applied index after recovery
+	OpenSlots       int  // live slot instances restored
+}
+
+// durable is the replica's persistence state (guarded by Replica.mu).
+type durable struct {
+	wal       *wal.WAL
+	snapDir   string
+	snapEvery int
+	policy    wal.SyncPolicy
+	syncEvery time.Duration
+	// persisted caches the last journaled state per slot so unchanged
+	// steps append nothing.
+	persisted map[int]core.State
+	// sinceSnap counts commands applied since the last snapshot.
+	sinceSnap int
+	snapIndex int // applied index of the newest snapshot
+	err       error
+}
+
+// WAL record kinds.
+const (
+	walKindState  = "s" // per-slot durable core state
+	walKindDecide = "d" // a decision learned for a slot
+)
+
+// walEntry is the JSON payload of one WAL record.
+type walEntry struct {
+	Kind  string           `json:"k"`
+	Slot  int              `json:"slot"`
+	State *core.State      `json:"st,omitempty"`
+	Val   *consensus.Value `json:"v,omitempty"`
+}
+
+// durableSnapshot is the JSON blob handed to internal/storage. WalNext is
+// the WAL index the snapshot is consistent up to: replay resumes there and
+// everything before it may be truncated.
+type durableSnapshot struct {
+	Applied      int                     `json:"applied"`
+	Store        map[string]string       `json:"store"`
+	CompactFloor int                     `json:"compactFloor"`
+	Seq          int64                   `json:"seq"`
+	WalNext      uint64                  `json:"walNext"`
+	Slots        map[int]core.State      `json:"slots,omitempty"`
+	Log          map[int]consensus.Value `json:"log,omitempty"`
+}
+
+// EnableDurability opens (or creates) the durability state under opts.Dir
+// and recovers the replica from it. Call after NewReplica and before
+// BindTransport/Start; the replica must not have processed any input yet.
+func (r *Replica) EnableDurability(opts DurabilityOptions) (RecoveryInfo, error) {
+	if opts.Dir == "" {
+		return RecoveryInfo{}, fmt.Errorf("smr durability: empty dir")
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	snapDir := filepath.Join(opts.Dir, "snap")
+	snapIdx, blob, haveSnap, err := storage.Load(snapDir)
+	if err != nil {
+		return RecoveryInfo{}, fmt.Errorf("smr durability: %w", err)
+	}
+	var snap durableSnapshot
+	if haveSnap {
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			return RecoveryInfo{}, fmt.Errorf("smr durability: snapshot decode: %w", err)
+		}
+	}
+	w, oinfo, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{
+		SegmentBytes:   opts.SegmentBytes,
+		Policy:         opts.Policy,
+		FailpointLimit: opts.FailpointLimit,
+	})
+	if err != nil {
+		return RecoveryInfo{}, fmt.Errorf("smr durability: %w", err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dur != nil {
+		w.Close()
+		return RecoveryInfo{}, fmt.Errorf("smr durability: already enabled")
+	}
+	if r.closed {
+		w.Close()
+		return RecoveryInfo{}, ErrClosed
+	}
+	r.dur = &durable{
+		wal:       w,
+		snapDir:   snapDir,
+		snapEvery: opts.SnapshotEvery,
+		policy:    opts.Policy,
+		syncEvery: opts.SyncEvery,
+		persisted: make(map[int]core.State),
+		snapIndex: int(snapIdx),
+	}
+
+	info := RecoveryInfo{
+		Recovered:       haveSnap,
+		SnapshotApplied: snap.Applied,
+		TornTail:        oinfo.TornTail,
+	}
+
+	// 1. Snapshot state first: store, applied index, command sequence.
+	if haveSnap {
+		r.applied = snap.Applied
+		r.store = make(map[string]string, len(snap.Store))
+		for k, v := range snap.Store {
+			r.store[k] = v
+		}
+		if snap.CompactFloor > r.compactFloor {
+			r.compactFloor = snap.CompactFloor
+		}
+		if snap.Seq > r.seq {
+			r.seq = snap.Seq
+		}
+		for slot, v := range snap.Log {
+			if slot >= r.applied {
+				r.log[slot] = v
+			}
+		}
+	}
+
+	// 2. WAL tail on top: collect the last journaled state per slot and any
+	// decisions, ignoring records for slots the snapshot already covers.
+	states := make(map[int]core.State)
+	for slot, st := range snap.Slots {
+		if slot >= snap.Applied {
+			states[slot] = st
+		}
+	}
+	rinfo, err := w.Replay(snap.WalNext, func(_ uint64, payload []byte) error {
+		var e walEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return fmt.Errorf("smr durability: wal record decode: %w", err)
+		}
+		if e.Slot < snap.Applied {
+			return nil // superseded by the snapshot
+		}
+		switch e.Kind {
+		case walKindState:
+			if e.State != nil {
+				states[e.Slot] = *e.State
+				if !e.State.Decided.IsNone() {
+					r.log[e.Slot] = e.State.Decided
+				}
+			}
+		case walKindDecide:
+			if e.Val != nil {
+				r.log[e.Slot] = *e.Val
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		r.dur = nil
+		return RecoveryInfo{}, err
+	}
+	info.WalRecords = rinfo.Records
+	info.TornTail = info.TornTail || rinfo.TornTail
+	if rinfo.Records > 0 {
+		info.Recovered = true
+	}
+
+	// 3. Re-apply decided commands in slot order.
+	for {
+		next, ok := r.log[r.applied]
+		if !ok {
+			break
+		}
+		r.applyCommandLocked(next)
+		r.applied++
+	}
+
+	// 4. A restarted replica must never re-enter a slot below its applied
+	// index with a fresh (amnesiac) instance: raise the compaction floor so
+	// stragglers there are served snapshots instead.
+	if r.applied > r.compactFloor {
+		r.compactFloor = r.applied
+	}
+	if r.applied > r.maxSeenApplied {
+		r.maxSeenApplied = r.applied
+	}
+	for slot := range r.log {
+		if slot < r.compactFloor {
+			delete(r.log, slot)
+		}
+	}
+
+	// 5. Rebuild live instances for open slots with their promises intact.
+	for slot, st := range states {
+		if slot < r.applied {
+			continue
+		}
+		node := core.NewUnchecked(r.cfg, core.ModeObject, core.DefaultOptions(), r.det)
+		if err := node.Restore(st); err != nil {
+			w.Close()
+			r.dur = nil
+			return RecoveryInfo{}, fmt.Errorf("smr durability: slot %d: %w", slot, err)
+		}
+		r.slots[slot] = node
+		r.dur.persisted[slot] = st
+		r.applyTimersOnlyLocked(slot, node, node.Start())
+	}
+	info.OpenSlots = len(r.slots)
+	info.Applied = r.applied
+
+	// 6. Never reuse a command sequence number from a previous life.
+	r.recoverSeqLocked()
+
+	if opts.Policy == wal.SyncInterval {
+		r.scheduleWalSyncLocked()
+	}
+	return info, nil
+}
+
+// recoverSeqLocked bumps r.seq past any of this replica's own command IDs
+// visible in the recovered log, so restarted clients never collide with
+// pre-crash commands.
+func (r *Replica) recoverSeqLocked() {
+	prefix := fmt.Sprintf("%s-", r.cfg.ID)
+	var bump func(cmd Command)
+	bump = func(cmd Command) {
+		if strings.HasPrefix(cmd.ID, prefix) {
+			if n, err := strconv.ParseInt(strings.TrimPrefix(cmd.ID, prefix), 10, 64); err == nil && n > r.seq {
+				r.seq = n
+			}
+		}
+		for _, sub := range cmd.Subs {
+			bump(sub)
+		}
+	}
+	for _, v := range r.log {
+		if cmd, err := DecodeCommand(v); err == nil {
+			bump(cmd)
+		}
+	}
+}
+
+// scheduleWalSyncLocked (re)arms the periodic WAL fsync under SyncInterval.
+func (r *Replica) scheduleWalSyncLocked() {
+	const key = "smr/walsync"
+	r.gens[key]++
+	gen := r.gens[key]
+	if t, ok := r.timers[key]; ok {
+		t.Stop()
+	}
+	r.timers[key] = time.AfterFunc(r.dur.syncEvery, func() {
+		r.mu.Lock()
+		if r.closed || r.dur == nil || r.gens[key] != gen {
+			r.mu.Unlock()
+			return
+		}
+		if err := r.dur.wal.Sync(); err != nil {
+			r.persistFailLocked(err)
+			r.mu.Unlock()
+			return
+		}
+		r.scheduleWalSyncLocked()
+		r.mu.Unlock()
+	})
+}
+
+// persistFailLocked poisons the replica after a journaling failure: no
+// state transition may become externally visible without its WAL record,
+// so the only safe continuation is none.
+func (r *Replica) persistFailLocked(err error) {
+	if r.dur.err == nil {
+		r.dur.err = err
+	}
+	r.closed = true
+}
+
+// appendEntryLocked journals one WAL entry; false poisons the replica.
+func (r *Replica) appendEntryLocked(e walEntry) bool {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		r.persistFailLocked(err)
+		return false
+	}
+	if _, err := r.dur.wal.Append(payload); err != nil {
+		r.persistFailLocked(err)
+		return false
+	}
+	return true
+}
+
+// persistSlotLocked journals slot's durable state if it changed since the
+// last journaled state. Call after applying a slot's effects and before
+// any of them escape (flush or waiter wake-up). Returns false (and poisons
+// the replica) on failure.
+func (r *Replica) persistSlotLocked(slot int) bool {
+	if r.dur == nil {
+		return true
+	}
+	if r.dur.err != nil {
+		return false
+	}
+	node, ok := r.slots[slot]
+	if !ok {
+		return true
+	}
+	st := node.Snapshot()
+	if prev, ok := r.dur.persisted[slot]; ok && prev == st {
+		return true
+	}
+	if !r.appendEntryLocked(walEntry{Kind: walKindState, Slot: slot, State: &st}) {
+		return false
+	}
+	r.dur.persisted[slot] = st
+	return true
+}
+
+// noteSlotCreatedLocked records a fresh instance's baseline state so that
+// untouched slots journal nothing (a brand-new instance is reproducible by
+// the absence of records).
+func (r *Replica) noteSlotCreatedLocked(slot int, node *core.Node) {
+	if r.dur == nil {
+		return
+	}
+	r.dur.persisted[slot] = node.Snapshot()
+}
+
+// persistDecideLocked journals a decision before it is applied or any
+// waiter observes it.
+func (r *Replica) persistDecideLocked(slot int, v consensus.Value) bool {
+	if r.dur == nil {
+		return true
+	}
+	if r.dur.err != nil {
+		return false
+	}
+	return r.appendEntryLocked(walEntry{Kind: walKindDecide, Slot: slot, Val: &v})
+}
+
+// maybeSnapshotLocked checkpoints the applied state every snapEvery applied
+// commands and truncates the WAL behind the checkpoint.
+func (r *Replica) maybeSnapshotLocked(appliedNow int) {
+	if r.dur == nil || r.dur.err != nil || r.dur.snapEvery < 0 {
+		return
+	}
+	r.dur.sinceSnap += appliedNow
+	if r.dur.sinceSnap < r.dur.snapEvery {
+		return
+	}
+	r.writeSnapshotLocked()
+}
+
+// writeSnapshotLocked saves a durable snapshot of the applied state and
+// truncates obsolete WAL segments. Failures poison the replica.
+func (r *Replica) writeSnapshotLocked() {
+	if r.dur == nil || r.dur.err != nil {
+		return
+	}
+	snap := durableSnapshot{
+		Applied:      r.applied,
+		Store:        make(map[string]string, len(r.store)),
+		CompactFloor: r.compactFloor,
+		Seq:          r.seq,
+		WalNext:      r.dur.wal.NextIndex(),
+	}
+	for k, v := range r.store {
+		snap.Store[k] = v
+	}
+	for slot, node := range r.slots {
+		if slot >= r.applied {
+			if snap.Slots == nil {
+				snap.Slots = make(map[int]core.State)
+			}
+			snap.Slots[slot] = node.Snapshot()
+		}
+	}
+	for slot, v := range r.log {
+		if slot >= r.applied {
+			if snap.Log == nil {
+				snap.Log = make(map[int]consensus.Value)
+			}
+			snap.Log[slot] = v
+		}
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		r.persistFailLocked(err)
+		return
+	}
+	// The WAL must be on disk before the snapshot that references WalNext.
+	if err := r.dur.wal.Sync(); err != nil {
+		r.persistFailLocked(err)
+		return
+	}
+	if err := storage.Save(r.dur.snapDir, uint64(r.applied), blob); err != nil {
+		r.persistFailLocked(err)
+		return
+	}
+	r.dur.snapIndex = r.applied
+	r.dur.sinceSnap = 0
+	if _, err := r.dur.wal.TruncateBefore(snap.WalNext); err != nil {
+		r.persistFailLocked(err)
+	}
+}
+
+// Snapshot forces a durable checkpoint now (no-op without durability).
+func (r *Replica) Snapshot() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dur == nil {
+		return nil
+	}
+	r.writeSnapshotLocked()
+	return r.dur.err
+}
+
+// SyncWAL forces an fsync of the WAL (no-op without durability). The
+// SyncInterval policy calls this from a timer; hosts with their own clock
+// discipline may drive it directly.
+func (r *Replica) SyncWAL() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dur == nil {
+		return nil
+	}
+	if err := r.dur.wal.Sync(); err != nil {
+		r.persistFailLocked(err)
+		return err
+	}
+	return nil
+}
+
+// ReplicaInfo is the operational summary served by the INFO command.
+type ReplicaInfo struct {
+	Applied       int    `json:"applied"`
+	OpenSlots     int    `json:"openSlots"`
+	CompactFloor  int    `json:"compactFloor"`
+	Durable       bool   `json:"durable"`
+	WalSegments   int    `json:"walSegments,omitempty"`
+	WalBytes      int64  `json:"walBytes,omitempty"`
+	WalNextIndex  uint64 `json:"walNextIndex,omitempty"`
+	SnapshotIndex int    `json:"snapshotIndex,omitempty"`
+}
+
+// Info reports the replica's applied index, open slots, and durability
+// state.
+func (r *Replica) Info() ReplicaInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	open := 0
+	for slot := range r.slots {
+		if slot >= r.applied {
+			open++
+		}
+	}
+	info := ReplicaInfo{
+		Applied:      r.applied,
+		OpenSlots:    open,
+		CompactFloor: r.compactFloor,
+	}
+	if r.dur != nil {
+		st := r.dur.wal.Stats()
+		info.Durable = true
+		info.WalSegments = st.Segments
+		info.WalBytes = st.Bytes
+		info.WalNextIndex = st.NextIndex
+		info.SnapshotIndex = r.dur.snapIndex
+	}
+	return info
+}
+
+// String renders the info as the single key=value line the server's INFO
+// command serves.
+func (i ReplicaInfo) String() string {
+	s := fmt.Sprintf("applied=%d open_slots=%d compact_floor=%d durable=%t",
+		i.Applied, i.OpenSlots, i.CompactFloor, i.Durable)
+	if i.Durable {
+		s += fmt.Sprintf(" wal_segments=%d wal_bytes=%d wal_next=%d snapshot_index=%d",
+			i.WalSegments, i.WalBytes, i.WalNextIndex, i.SnapshotIndex)
+	}
+	return s
+}
+
+// sortedSlots returns m's keys ascending (catchup installs decisions in
+// slot order so the apply loop advances deterministically).
+func sortedSlots(m map[int]consensus.Value) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

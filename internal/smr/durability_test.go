@@ -1,0 +1,571 @@
+package smr_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// rebind is a swappable transport handler: a mesh endpoint can only be
+// attached once, so restart-in-place tests point the endpoint here and
+// swap the target replica underneath.
+type rebind struct {
+	mu sync.Mutex
+	h  transport.Handler
+}
+
+func (rb *rebind) handle(from consensus.ProcessID, msg consensus.Message) {
+	rb.mu.Lock()
+	h := rb.h
+	rb.mu.Unlock()
+	if h != nil {
+		h(from, msg)
+	}
+}
+
+func (rb *rebind) set(h transport.Handler) {
+	rb.mu.Lock()
+	rb.h = h
+	rb.mu.Unlock()
+}
+
+// durableCluster is a mesh of durable replicas that can be crashed and
+// restarted in place from their data directories.
+type durableCluster struct {
+	t        *testing.T
+	n        int
+	mesh     *transport.Mesh
+	dirs     []string
+	rebinds  []*rebind
+	trs      []transport.Transport
+	replicas []*smr.Replica
+	opts     func(dir string, i int) smr.DurabilityOptions
+}
+
+func newDurableCluster(t *testing.T, n, f, e, depth int, opts func(dir string, i int) smr.DurabilityOptions) *durableCluster {
+	t.Helper()
+	c := &durableCluster{
+		t:        t,
+		n:        n,
+		mesh:     transport.NewMeshWithDepth(n, depth),
+		dirs:     make([]string, n),
+		rebinds:  make([]*rebind, n),
+		trs:      make([]transport.Transport, n),
+		replicas: make([]*smr.Replica, n),
+		opts:     opts,
+	}
+	base := t.TempDir()
+	for i := 0; i < n; i++ {
+		c.dirs[i] = filepath.Join(base, fmt.Sprintf("r%d", i))
+		c.rebinds[i] = &rebind{}
+		tr, err := c.mesh.Endpoint(consensus.ProcessID(i), c.rebinds[i].handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.trs[i] = tr
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.boot(i, f, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, r := range c.replicas {
+			if r != nil {
+				r.Close()
+			}
+		}
+		c.mesh.Close()
+	})
+	return c
+}
+
+// boot builds replica i over its data dir and swaps it into the mesh.
+func (c *durableCluster) boot(i, f, e int) (smr.RecoveryInfo, error) {
+	cfg := consensus.Config{ID: consensus.ProcessID(i), N: c.n, F: f, E: e, Delta: 10}
+	r, err := smr.NewReplica(cfg, time.Millisecond)
+	if err != nil {
+		return smr.RecoveryInfo{}, err
+	}
+	info, err := r.EnableDurability(c.opts(c.dirs[i], i))
+	if err != nil {
+		return smr.RecoveryInfo{}, err
+	}
+	r.BindTransport(c.trs[i])
+	c.rebinds[i].set(r.Handle)
+	c.replicas[i] = r
+	r.Start()
+	return info, nil
+}
+
+// restart closes (or abandons, if already poisoned) replica i and boots a
+// fresh one from the same data directory.
+func (c *durableCluster) restart(i, f, e int) smr.RecoveryInfo {
+	c.t.Helper()
+	c.rebinds[i].set(nil)
+	if c.replicas[i] != nil {
+		c.replicas[i].Close()
+	}
+	info, err := c.boot(i, f, e)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return info
+}
+
+// waitApplied waits until replica i has applied at least want slots.
+func (c *durableCluster) waitApplied(i, want int, d time.Duration) {
+	c.t.Helper()
+	deadline := time.Now().Add(d)
+	for c.replicas[i].Applied() < want {
+		if time.Now().After(deadline) {
+			c.t.Fatalf("replica %d stuck at %d/%d applied", i, c.replicas[i].Applied(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDurableRestartRecoversAppliedState(t *testing.T) {
+	c := newDurableCluster(t, 3, 1, 1, 0, func(dir string, i int) smr.DurabilityOptions {
+		return smr.DurabilityOptions{Dir: dir, Policy: wal.SyncNever, SnapshotEvery: 4}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	kv := smr.NewKV(c.replicas[0])
+	const writes = 10
+	for j := 0; j < writes; j++ {
+		if err := kv.Put(ctx, fmt.Sprintf("k%d", j), fmt.Sprintf("v%d", j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitApplied(1, writes, 10*time.Second)
+
+	// Clean restart of replica 1: snapshot + WAL tail must rebuild the
+	// applied store without any help from the cluster.
+	info := c.restart(1, 1, 1)
+	if !info.Recovered {
+		t.Fatal("restart found no durable state")
+	}
+	if info.TornTail {
+		t.Fatal("clean shutdown left a torn WAL tail")
+	}
+	if info.Applied < writes {
+		t.Fatalf("recovered applied=%d, want >= %d", info.Applied, writes)
+	}
+	for j := 0; j < writes; j++ {
+		if v, ok := c.replicas[1].Get(fmt.Sprintf("k%d", j)); !ok || v != fmt.Sprintf("v%d", j) {
+			t.Fatalf("k%d = %q ok=%v after restart", j, v, ok)
+		}
+	}
+	// The recovered replica keeps serving: more writes through it decide.
+	kv1 := smr.NewKV(c.replicas[1])
+	if err := kv1.Put(ctx, "post", "restart"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.replicas[1].Get("post"); v != "restart" {
+		t.Fatalf("post-restart write not applied: %q", v)
+	}
+}
+
+func TestCrashFailpointUnderWorkloadRecoversAndRejoins(t *testing.T) {
+	// Replica 2 crashes via a WAL failpoint mid-record while replica 0
+	// serves a live workload; the survivors keep deciding (n=3, f=1), and
+	// the restarted replica replays its journal and converges. The first
+	// write lands before any crash with a single uncontended proposer, so
+	// the recovered prefix includes fast-path decisions.
+	limits := []int64{0, 0, 2500}
+	c := newDurableCluster(t, 3, 1, 1, 0, func(dir string, i int) smr.DurabilityOptions {
+		return smr.DurabilityOptions{
+			Dir:            dir,
+			Policy:         wal.SyncAlways,
+			SnapshotEvery:  -1, // keep the whole journal: recovery must come from the WAL
+			FailpointLimit: limits[i],
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	kv := smr.NewKV(c.replicas[0])
+	const writes = 30
+	for j := 0; j < writes; j++ {
+		if err := kv.Put(ctx, fmt.Sprintf("k%d", j), fmt.Sprintf("v%d", j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The workload must have tripped replica 2's failpoint.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.replicas[2].Info().Applied >= c.replicas[0].Applied() {
+		if time.Now().After(deadline) {
+			t.Skipf("failpoint not reached: replica 2 applied %d", c.replicas[2].Info().Applied)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Restart in place without the failpoint: the torn record is truncated
+	// and the journaled prefix replays.
+	limits[2] = 0
+	info := c.restart(2, 1, 1)
+	if !info.Recovered {
+		t.Fatal("restart found no durable state")
+	}
+	if !info.TornTail {
+		t.Fatal("failpoint crash should leave a torn tail")
+	}
+	if info.WalRecords == 0 {
+		t.Fatal("no WAL records replayed")
+	}
+
+	// The recovered replica rejoins: catchup closes the gap to the others.
+	c.waitApplied(2, writes, 15*time.Second)
+	for j := 0; j < writes; j++ {
+		if v, ok := c.replicas[2].Get(fmt.Sprintf("k%d", j)); !ok || v != fmt.Sprintf("v%d", j) {
+			t.Fatalf("k%d = %q ok=%v on recovered replica", j, v, ok)
+		}
+	}
+	// Decided logs must agree wherever both replicas still hold the slot.
+	for slot := 0; slot < writes; slot++ {
+		v0, ok0 := c.replicas[0].LogValue(slot)
+		v2, ok2 := c.replicas[2].LogValue(slot)
+		if ok0 && ok2 && v0 != v2 {
+			t.Fatalf("slot %d: %v != %v after recovery", slot, v0, v2)
+		}
+	}
+}
+
+func TestCrashGracefulShutdownRecoversWithoutTornTail(t *testing.T) {
+	// A graceful shutdown (what the SIGTERM handlers in cmd/kv and
+	// cmd/twostep invoke) must fsync and close the WAL even under
+	// SyncNever, so the restart takes the clean path, not the torn-tail
+	// one.
+	c := newDurableCluster(t, 3, 1, 1, 0, func(dir string, i int) smr.DurabilityOptions {
+		return smr.DurabilityOptions{Dir: dir, Policy: wal.SyncNever, SnapshotEvery: -1}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		kv := smr.NewKV(c.replicas[0])
+		for j := 0; ; j++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = kv.Put(ctx, fmt.Sprintf("w%d", j), "x")
+		}
+	}()
+	// Let the workload run, then shut replica 1 down mid-stream.
+	c.waitApplied(1, 3, 10*time.Second)
+	before := c.replicas[1].Applied()
+	c.rebinds[1].set(nil)
+	if err := c.replicas[1].Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	info, err := c.boot(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TornTail {
+		t.Fatal("graceful shutdown took the torn-tail recovery path")
+	}
+	if !info.Recovered || info.Applied < before {
+		t.Fatalf("recovered applied=%d, want >= %d", info.Applied, before)
+	}
+}
+
+// captureTr records outbound messages so a test can observe what a
+// replica (without a live mesh) says to its peers.
+type captureTr struct {
+	self consensus.ProcessID
+
+	mu   sync.Mutex
+	sent []struct {
+		to  consensus.ProcessID
+		msg consensus.Message
+	}
+}
+
+func (c *captureTr) Self() consensus.ProcessID { return c.self }
+func (c *captureTr) Stats() transport.Stats    { return transport.Stats{} }
+func (c *captureTr) Close() error              { return nil }
+func (c *captureTr) Send(to consensus.ProcessID, msg consensus.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sent = append(c.sent, struct {
+		to  consensus.ProcessID
+		msg consensus.Message
+	}{to, msg})
+	return nil
+}
+
+// oneBs decodes the captured slot-wrapped 1B replies for a slot.
+func (c *captureTr) oneBs(t *testing.T, slot int) []core.OneB {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []core.OneB
+	for _, s := range c.sent {
+		sm, ok := s.msg.(*smr.SlotMessage)
+		if !ok || sm.Slot != slot || sm.InnerKind != core.KindOneB {
+			continue
+		}
+		var b core.OneB
+		if err := json.Unmarshal(sm.InnerBody, &b); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// slotMsg wraps an inner core message for delivery via Replica.Handle.
+func slotMsg(t *testing.T, slot int, inner consensus.Message) *smr.SlotMessage {
+	t.Helper()
+	body, err := json.Marshal(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &smr.SlotMessage{Slot: slot, InnerKind: inner.Kind(), InnerBody: body}
+}
+
+func TestDurablePromiseSurvivesRestart(t *testing.T) {
+	// The paper's recovery rule assumes a recovering acceptor still knows
+	// the ballots it joined. Join ballot 5, crash without a clean close,
+	// restart, and check the replica refuses to join the lower ballot 3 —
+	// an amnesiac replica would.
+	dir := t.TempDir()
+	cfg := consensus.Config{ID: 2, N: 3, F: 1, E: 1, Delta: 10}
+	mk := func() (*smr.Replica, *captureTr, smr.RecoveryInfo) {
+		r, err := smr.NewReplica(cfg, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := r.EnableDurability(smr.DurabilityOptions{Dir: dir, Policy: wal.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &captureTr{self: cfg.ID}
+		r.BindTransport(tr)
+		r.Start()
+		return r, tr, info
+	}
+
+	r1, tr1, _ := mk()
+	r1.Handle(1, slotMsg(t, 0, &core.OneA{Ballot: 5}))
+	replies := tr1.oneBs(t, 0)
+	if len(replies) != 1 || replies[0].Ballot != 5 {
+		t.Fatalf("expected one 1B(5), got %+v", replies)
+	}
+	// Crash: abandon r1 without Close (SyncAlways already made the join
+	// durable). The restarted replica must still hold the promise.
+	r2, tr2, info := mk()
+	defer r2.Close()
+	if !info.Recovered || info.OpenSlots != 1 {
+		t.Fatalf("recovery info = %+v, want one restored open slot", info)
+	}
+	r2.Handle(0, slotMsg(t, 0, &core.OneA{Ballot: 3}))
+	for _, b := range tr2.oneBs(t, 0) {
+		if b.Ballot == 3 {
+			t.Fatal("recovered replica joined a ballot below its promise")
+		}
+	}
+	// The promise itself is still answered: a higher ballot gets a 1B.
+	r2.Handle(1, slotMsg(t, 0, &core.OneA{Ballot: 9}))
+	found := false
+	for _, b := range tr2.oneBs(t, 0) {
+		if b.Ballot == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recovered replica no longer answers higher ballots")
+	}
+}
+
+func TestCatchupCarriesDecidedTailForOpenSlots(t *testing.T) {
+	// A snapshot/catchup reply must carry decided values for slots at or
+	// above the sender's applied index, so receivers close decide gaps
+	// they missed (the decided value of a still-open slot used to be
+	// dropped on the floor).
+	cfg := consensus.Config{ID: 0, N: 3, F: 1, E: 1, Delta: 10}
+	r, err := smr.NewReplica(cfg, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	cmd := smr.Command{ID: "p9-1", Op: smr.OpPut, Key: "gap", Val: "filled"}
+	v, err := cmd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := json.Marshal(map[string]any{
+		"applied": 0,
+		"store":   map[string]string{},
+		"decided": map[string]consensus.Value{"2": v},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InstallSnapshotJSON(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.LogValue(2); !ok || got != v {
+		t.Fatalf("decided tail not adopted: %v ok=%v", got, ok)
+	}
+	// The adopted decision must be re-exported to the next straggler.
+	out, err := r.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Decided map[string]consensus.Value `json:"decided"`
+	}
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := decoded.Decided["2"]; !ok || got != v {
+		t.Fatalf("snapshot export lost the decided tail: %+v", decoded.Decided)
+	}
+}
+
+func TestCatchupHealsDecideGapsUnderDrops(t *testing.T) {
+	// A shallow mesh (depth 8) drops decide traffic under load; the
+	// periodic status gossip plus the decided tail in CatchupReply must
+	// still converge every replica onto the full log.
+	replicas := make([]*smr.Replica, 3)
+	mesh := transport.NewMeshWithDepth(3, 8)
+	for i := range replicas {
+		cfg := consensus.Config{ID: consensus.ProcessID(i), N: 3, F: 1, E: 1, Delta: 10}
+		r, err := smr.NewReplica(cfg, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := mesh.Endpoint(cfg.ID, r.Handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.BindTransport(tr)
+		replicas[i] = r
+	}
+	for _, r := range replicas {
+		r.Start()
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+		mesh.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	const writes = 25
+	for j := 0; j < writes; j++ {
+		if err := kv.Put(ctx, fmt.Sprintf("d%d", j), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for i, r := range replicas {
+		for r.Applied() < writes {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d stuck at %d/%d under drops", i, r.Applied(), writes)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestDurableInfoReportsWalAndSnapshotState(t *testing.T) {
+	c := newDurableCluster(t, 3, 1, 1, 0, func(dir string, i int) smr.DurabilityOptions {
+		return smr.DurabilityOptions{Dir: dir, Policy: wal.SyncNever, SnapshotEvery: 5}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	kv := smr.NewKV(c.replicas[0])
+	for j := 0; j < 12; j++ {
+		if err := kv.Put(ctx, fmt.Sprintf("i%d", j), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info := c.replicas[0].Info()
+	if !info.Durable {
+		t.Fatal("Info does not report durability")
+	}
+	if info.Applied < 12 || info.WalSegments < 1 || info.WalBytes <= 0 {
+		t.Fatalf("implausible info: %+v", info)
+	}
+	if info.SnapshotIndex == 0 {
+		t.Fatalf("snapshots (every 5 commands) never taken: %+v", info)
+	}
+	if got := info.String(); got == "" {
+		t.Fatal("empty INFO line")
+	}
+}
+
+func TestEnableDurabilityTwiceFails(t *testing.T) {
+	dir := t.TempDir()
+	cfg := consensus.Config{ID: 0, N: 3, F: 1, E: 1, Delta: 10}
+	r, err := smr.NewReplica(cfg, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.EnableDurability(smr.DurabilityOptions{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.EnableDurability(smr.DurabilityOptions{Dir: dir}); err == nil {
+		t.Fatal("second EnableDurability succeeded")
+	}
+	if _, err := r.EnableDurability(smr.DurabilityOptions{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestPoisonedReplicaRejectsWork(t *testing.T) {
+	// After a journaling failure nothing may become externally visible, so
+	// the replica closes itself; clients get ErrClosed, not silent
+	// un-journaled progress.
+	dir := t.TempDir()
+	cfg := consensus.Config{ID: 0, N: 1, F: 0, E: 0, Delta: 10}
+	r, err := smr.NewReplica(cfg, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// A tiny failpoint trips on the very first journaled record.
+	if _, err := r.EnableDurability(smr.DurabilityOptions{Dir: dir, FailpointLimit: 20}); err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err = smr.NewKV(r).Put(ctx, "k", "v")
+	if err == nil {
+		t.Fatal("write succeeded past a journaling failure")
+	}
+	if !errors.Is(err, smr.ErrClosed) && ctx.Err() == nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -74,6 +74,10 @@ type Replica struct {
 
 	// batch, when non-nil, groups Submit traffic into OpBatch commands.
 	batch *batcher
+
+	// dur, when non-nil, journals slot state to a WAL and checkpoints the
+	// applied store into snapshots (see durability.go).
+	dur *durable
 }
 
 // NewReplica builds a replica. Call BindTransport, then Start.
@@ -164,10 +168,22 @@ func (r *Replica) Handle(from consensus.ProcessID, msg consensus.Message) {
 		if m.Slot > r.maxSeenApplied {
 			r.maxSeenApplied = m.Slot
 		}
+		if v, decided := r.log[m.Slot]; decided {
+			if _, live := r.slots[m.Slot]; !live {
+				// Decided slot whose instance is gone (recovered from the
+				// journal): answer with the decision rather than spinning
+				// up a fresh — amnesiac — instance.
+				out = r.slotDecideReplyLocked(m.Slot, from, v)
+				break
+			}
+		}
 		inner, err := r.inner.Decode(mustWire(m.InnerKind, m.InnerBody))
 		if err == nil {
 			node := r.slotLocked(m.Slot)
 			out = r.applySlotLocked(m.Slot, node, node.Deliver(from, inner))
+			if !r.persistSlotLocked(m.Slot) {
+				out = nil
+			}
 		}
 	case *Status:
 		if m.Applied > r.maxSeenApplied {
@@ -181,7 +197,7 @@ func (r *Replica) Handle(from consensus.ProcessID, msg consensus.Message) {
 			out = r.catchupReplyLocked(from)
 		}
 	case *CatchupReply:
-		out = r.installSnapshotLocked(m.Applied, m.Store)
+		out = r.installSnapshotLocked(m.Applied, m.Store, m.Decided)
 	default:
 		out = r.applyDetectorLocked(r.det.Deliver(from, msg))
 	}
@@ -189,60 +205,85 @@ func (r *Replica) Handle(from consensus.ProcessID, msg consensus.Message) {
 	r.flush(out)
 }
 
-// catchupReplyLocked builds a snapshot reply for a lagging peer.
+// catchupReplyLocked builds a snapshot reply for a lagging peer: the
+// applied store plus decided values for still-open slots, so a peer that
+// missed decide traffic (drops, restarts) learns them without re-running
+// those slots.
 func (r *Replica) catchupReplyLocked(to consensus.ProcessID) []outbound {
 	store := make(map[string]string, len(r.store))
 	for k, v := range r.store {
 		store[k] = v
 	}
-	return []outbound{{to: to, msg: &CatchupReply{Applied: r.applied, Store: store}}}
+	var decided map[int]consensus.Value
+	for slot, v := range r.log {
+		if slot >= r.applied {
+			if decided == nil {
+				decided = make(map[int]consensus.Value)
+			}
+			decided[slot] = v
+		}
+	}
+	return []outbound{{to: to, msg: &CatchupReply{Applied: r.applied, Store: store, Decided: decided}}}
 }
 
 // installSnapshotLocked adopts a peer's snapshot if it is ahead of us:
 // the store replaces ours, slots below the snapshot's applied index are
-// discarded, and their waiters are told to retry.
-func (r *Replica) installSnapshotLocked(applied int, store map[string]string) []outbound {
-	if applied <= r.applied {
-		return nil
-	}
-	r.store = make(map[string]string, len(store))
-	for k, v := range store {
-		r.store[k] = v
-	}
-	r.applied = applied
-	if applied > r.maxSeenApplied {
-		r.maxSeenApplied = applied
-	}
-	// Discard superseded slot instances and their timers.
-	for slot := range r.slots {
-		if slot < applied {
-			r.dropSlotLocked(slot)
+// discarded, and their waiters are told to retry. Decided values for
+// still-open slots are then adopted as ordinary decisions.
+func (r *Replica) installSnapshotLocked(applied int, store map[string]string, decided map[int]consensus.Value) []outbound {
+	if applied > r.applied {
+		r.store = make(map[string]string, len(store))
+		for k, v := range store {
+			r.store[k] = v
 		}
-	}
-	for slot := range r.log {
-		if slot < applied {
-			delete(r.log, slot)
+		r.applied = applied
+		if applied > r.maxSeenApplied {
+			r.maxSeenApplied = applied
 		}
-	}
-	// Waiters on superseded slots cannot learn their slot's value from
-	// us anymore; ⊥ tells Execute to retry in a fresh slot.
-	for slot, chs := range r.waiters {
-		if slot < applied {
-			for _, ch := range chs {
-				ch <- consensus.None
+		// Discard superseded slot instances and their timers.
+		for slot := range r.slots {
+			if slot < applied {
+				r.dropSlotLocked(slot)
 			}
-			delete(r.waiters, slot)
 		}
-	}
-	for slot, chs := range r.appliedW {
-		if slot < applied {
-			for _, ch := range chs {
-				close(ch)
+		for slot := range r.log {
+			if slot < applied {
+				delete(r.log, slot)
 			}
-			delete(r.appliedW, slot)
 		}
+		// Waiters on superseded slots cannot learn their slot's value from
+		// us anymore; ⊥ tells Execute to retry in a fresh slot.
+		for slot, chs := range r.waiters {
+			if slot < applied {
+				for _, ch := range chs {
+					ch <- consensus.None
+				}
+				delete(r.waiters, slot)
+			}
+		}
+		for slot, chs := range r.appliedW {
+			if slot < applied {
+				for _, ch := range chs {
+					close(ch)
+				}
+				delete(r.appliedW, slot)
+			}
+		}
+		// The store jump has no WAL records backing it; checkpoint so a
+		// crash right after catchup does not roll the replica back.
+		r.writeSnapshotLocked()
 	}
-	return nil
+	var out []outbound
+	for _, slot := range sortedSlots(decided) {
+		if slot < r.applied {
+			continue
+		}
+		if _, dup := r.log[slot]; dup {
+			continue
+		}
+		out = append(out, r.decideLocked(slot, decided[slot])...)
+	}
+	return out
 }
 
 // dropSlotLocked removes a slot instance and cancels its timer.
@@ -311,6 +352,10 @@ func (r *Replica) Execute(ctx context.Context, cmd Command) (int, error) {
 		}
 		node := r.slotLocked(slot)
 		out = r.applySlotLocked(slot, node, node.Propose(want))
+		if !r.persistSlotLocked(slot) {
+			r.mu.Unlock()
+			return 0, ErrClosed
+		}
 		ch = make(chan consensus.Value, 1)
 		r.waiters[slot] = append(r.waiters[slot], ch)
 		r.mu.Unlock()
@@ -418,19 +463,26 @@ func (r *Replica) CompactFloor() int {
 func (r *Replica) SnapshotJSON() ([]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return encodeSnapshot(r.applied, r.store)
+	decided := make(map[int]consensus.Value)
+	for slot, v := range r.log {
+		if slot >= r.applied {
+			decided[slot] = v
+		}
+	}
+	return encodeSnapshot(r.applied, r.store, decided)
 }
 
 // InstallSnapshotJSON installs a previously exported state if it is ahead
 // of the replica's own.
 func (r *Replica) InstallSnapshotJSON(data []byte) error {
-	applied, store, err := decodeSnapshot(data)
+	applied, store, decided, err := decodeSnapshot(data)
 	if err != nil {
 		return fmt.Errorf("smr install snapshot: %w", err)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.installSnapshotLocked(applied, store)
+	out := r.installSnapshotLocked(applied, store, decided)
+	r.mu.Unlock()
+	r.flush(out)
 	return nil
 }
 
@@ -459,14 +511,24 @@ func (r *Replica) Close() error {
 	r.appliedW = make(map[int][]chan struct{})
 	tr := r.tr
 	b := r.batch
+	d := r.dur
 	r.mu.Unlock()
 	if b != nil {
 		b.close()
 	}
-	if tr != nil {
-		return tr.Close()
+	var firstErr error
+	if d != nil {
+		// Close syncs: a graceful shutdown leaves no torn tail to recover.
+		if err := d.wal.Close(); err != nil {
+			firstErr = err
+		}
 	}
-	return nil
+	if tr != nil {
+		if err := tr.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // slotLocked returns (starting if needed) the consensus instance for slot.
@@ -479,6 +541,7 @@ func (r *Replica) slotLocked(slot int) *core.Node {
 	// Start the instance: its effects (the new-ballot timer) are applied
 	// immediately; any sends it might produce are flushed by the caller.
 	r.applyTimersOnlyLocked(slot, node, node.Start())
+	r.noteSlotCreatedLocked(slot, node)
 	return node
 }
 
@@ -530,27 +593,53 @@ func (r *Replica) slotSendLocked(slot int, node *core.Node, to consensus.Process
 	if to == r.cfg.ID {
 		return r.applySlotLocked(slot, node, node.Deliver(r.cfg.ID, msg))
 	}
+	wrapped, ok := r.wrapSlotMsgLocked(slot, msg)
+	if !ok {
+		return nil
+	}
+	return []outbound{{to: to, msg: wrapped}}
+}
+
+// wrapSlotMsgLocked encodes an inner core message into its SlotMessage
+// wire form.
+func (r *Replica) wrapSlotMsgLocked(slot int, msg consensus.Message) (*SlotMessage, bool) {
 	wire, err := r.inner.Encode(msg)
 	if err != nil {
-		return nil
+		return nil, false
 	}
 	var w struct {
 		Kind string          `json:"kind"`
 		Body json.RawMessage `json:"body"`
 	}
 	if err := json.Unmarshal(wire, &w); err != nil {
+		return nil, false
+	}
+	return &SlotMessage{Slot: slot, InnerKind: w.Kind, InnerBody: w.Body}, true
+}
+
+// slotDecideReplyLocked answers traffic for a decided slot whose instance
+// is gone (journal recovery) with the decision itself.
+func (r *Replica) slotDecideReplyLocked(slot int, to consensus.ProcessID, v consensus.Value) []outbound {
+	wrapped, ok := r.wrapSlotMsgLocked(slot, &core.DecideMsg{Value: v})
+	if !ok {
 		return nil
 	}
-	return []outbound{{to: to, msg: &SlotMessage{Slot: slot, InnerKind: w.Kind, InnerBody: w.Body}}}
+	return []outbound{{to: to, msg: wrapped}}
 }
 
 // decideLocked records a slot decision, applies ready commands, and wakes
-// waiters.
+// waiters. With durability enabled, the decision (and the deciding
+// instance's final state) is journaled before the command is applied or
+// any waiter can observe the outcome.
 func (r *Replica) decideLocked(slot int, v consensus.Value) []outbound {
 	if _, dup := r.log[slot]; dup {
 		return nil
 	}
+	if !r.persistDecideLocked(slot, v) || !r.persistSlotLocked(slot) {
+		return nil
+	}
 	r.log[slot] = v
+	before := r.applied
 	for {
 		next, ok := r.log[r.applied]
 		if !ok {
@@ -571,6 +660,7 @@ func (r *Replica) decideLocked(slot int, v consensus.Value) []outbound {
 			delete(r.appliedW, s)
 		}
 	}
+	r.maybeSnapshotLocked(r.applied - before)
 	return nil
 }
 
@@ -660,6 +750,9 @@ func (r *Replica) startSlotTimerLocked(slot int, node *core.Node, eff consensus.
 			return
 		}
 		out := r.applySlotLocked(slot, node, node.Tick(eff.Timer))
+		if !r.persistSlotLocked(slot) {
+			out = nil
+		}
 		r.mu.Unlock()
 		r.flush(out)
 	})

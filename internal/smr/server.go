@@ -17,6 +17,7 @@ import (
 //	DEL <key>             →  OK
 //	PING                  →  PONG
 //	STATS                 →  STATS <transport counters>
+//	INFO                  →  INFO <replica/durability summary>
 //
 // Errors answer "ERR <reason>". One command per line; responses are single
 // lines. GET is served from the replica's applied state (see KV.Get for the
@@ -125,6 +126,8 @@ func (s *Server) handleLine(line string) string {
 			return "ERR no transport bound"
 		}
 		return "STATS " + st.String()
+	case "INFO":
+		return "INFO " + s.replica.Info().String()
 	case "GET":
 		if len(fields) != 2 {
 			return "ERR usage: GET <key>"

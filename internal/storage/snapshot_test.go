@@ -1,0 +1,138 @@
+package storage_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func snapFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	blob := []byte(`{"applied":7,"store":{"a":"1"}}`)
+	if err := storage.Save(dir, 7, blob); err != nil {
+		t.Fatal(err)
+	}
+	idx, data, ok, err := storage.Load(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if idx != 7 || !bytes.Equal(data, blob) {
+		t.Fatalf("load idx=%d data=%q", idx, data)
+	}
+}
+
+func TestLoadEmptyDirAndMissingDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, ok, err := storage.Load(dir); ok || err != nil {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	if _, _, ok, err := storage.Load(filepath.Join(dir, "nope")); ok || err != nil {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNewestWinsAndPruneKeepsFallback(t *testing.T) {
+	dir := t.TempDir()
+	for i := uint64(1); i <= 5; i++ {
+		if err := storage.Save(dir, i*10, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx, data, ok, err := storage.Load(dir)
+	if err != nil || !ok || idx != 50 || data[0] != 5 {
+		t.Fatalf("load: idx=%d data=%v ok=%v err=%v", idx, data, ok, err)
+	}
+	if files := snapFiles(t, dir); len(files) != 2 {
+		t.Fatalf("prune kept %d generations, want 2: %v", len(files), files)
+	}
+}
+
+func TestCorruptNewestFallsBackToPrevious(t *testing.T) {
+	dir := t.TempDir()
+	if err := storage.Save(dir, 10, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.Save(dir, 20, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	files := snapFiles(t, dir)
+	if len(files) != 2 {
+		t.Fatalf("want 2 generations, got %v", files)
+	}
+	// Flip a payload bit in the newest snapshot.
+	newest := files[len(files)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, blob, ok, err := storage.Load(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if idx != 10 || string(blob) != "old" {
+		t.Fatalf("fallback gave idx=%d blob=%q", idx, blob)
+	}
+}
+
+func TestTruncatedNewestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if err := storage.Save(dir, 1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.Save(dir, 2, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	files := snapFiles(t, dir)
+	newest := files[len(files)-1]
+	fi, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	idx, blob, ok, err := storage.Load(dir)
+	if err != nil || !ok || idx != 1 || string(blob) != "first" {
+		t.Fatalf("fallback: idx=%d blob=%q ok=%v err=%v", idx, blob, ok, err)
+	}
+}
+
+func TestStaleTempFilesAreIgnoredAndPruned(t *testing.T) {
+	dir := t.TempDir()
+	// A crash between write and rename leaves a .tmp file behind.
+	stale := filepath.Join(dir, "snap-00000000000000ff.snap.tmp")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := storage.Load(dir); ok || err != nil {
+		t.Fatalf("tmp file treated as snapshot: ok=%v err=%v", ok, err)
+	}
+	if err := storage.Save(dir, 3, []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp not pruned: %v", err)
+	}
+	idx, blob, ok, err := storage.Load(dir)
+	if err != nil || !ok || idx != 3 || string(blob) != "real" {
+		t.Fatalf("load after save: idx=%d blob=%q ok=%v err=%v", idx, blob, ok, err)
+	}
+}

@@ -1,0 +1,230 @@
+package wal_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// segmentFiles lists the on-disk segment files in name (= index) order.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches)
+	if len(matches) == 0 {
+		t.Fatal("no segment files")
+	}
+	return matches
+}
+
+// fillRecords appends n records of the given payload size and returns the
+// payload used.
+func fillRecords(t *testing.T, w *wal.WAL, n, size int) []byte {
+	t.Helper()
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return payload
+}
+
+func TestCrashFailpointMidRecordLeavesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	// Segment header is 16 bytes; each 10-byte payload frames to 26 bytes.
+	// A limit of 160 admits the header and 5 whole records (146 bytes) and
+	// cuts the 6th record mid-frame.
+	w, _, err := wal.Open(dir, wal.Options{Policy: wal.SyncAlways, FailpointLimit: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended := 0
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(make([]byte, 10)); err != nil {
+			if !errors.Is(err, wal.ErrFailpoint) {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			break
+		}
+		appended++
+	}
+	if appended != 5 {
+		t.Fatalf("failpoint admitted %d records, want 5", appended)
+	}
+	// The WAL is poisoned: no further appends.
+	if _, err := w.Append([]byte("x")); !errors.Is(err, wal.ErrFailpoint) {
+		t.Fatalf("poisoned append err = %v", err)
+	}
+	w.Close()
+
+	// Reopen: the torn 6th record is truncated away, the 5 acknowledged
+	// records survive, and the log accepts appends again.
+	w2, info, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !info.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if info.NextIndex != uint64(appended+1) {
+		t.Fatalf("next index = %d, want %d", info.NextIndex, appended+1)
+	}
+	if _, _, rinfo := collect(t, w2, 0); rinfo.Records != appended {
+		t.Fatalf("recovered %d records, want %d", rinfo.Records, appended)
+	}
+	if idx, err := w2.Append([]byte("resumed")); err != nil || idx != uint64(appended+1) {
+		t.Fatalf("append after recovery: idx=%d err=%v", idx, err)
+	}
+}
+
+func TestCrashTruncatedTailBytes(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRecords(t, w, 5, 32)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Shear a few bytes off the tail, as a crash mid-write would.
+	seg := segmentFiles(t, dir)[0]
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	w2, info, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !info.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if _, _, rinfo := collect(t, w2, 0); rinfo.Records != 4 {
+		t.Fatalf("recovered %d records, want 4", rinfo.Records)
+	}
+}
+
+func TestCrashBitFlippedCRCRejectsTailRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRecords(t, w, 5, 32)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit inside the last record.
+	seg := segmentFiles(t, dir)[0]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, info, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !info.TornTail {
+		t.Fatal("corrupt tail record not reported")
+	}
+	if _, _, rinfo := collect(t, w2, 0); rinfo.Records != 4 {
+		t.Fatalf("recovered %d records, want 4 (corrupt one rejected)", rinfo.Records)
+	}
+}
+
+func TestCrashCorruptionInSealedSegmentIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := wal.Open(dir, wal.Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRecords(t, w, 10, 16)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segmentFiles(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	// Damage the FIRST (sealed) segment: this is not a torn tail, it is
+	// data loss in the middle of the log, and replay must say so.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xFF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if _, err := w2.Replay(0, func(uint64, []byte) error { return nil }); err == nil {
+		t.Fatal("corruption in a sealed segment replayed silently")
+	}
+}
+
+func TestCrashRecoveredLogStaysUsableAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := wal.Open(dir, wal.Options{FailpointLimit: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := w.Append(make([]byte, 24)); err != nil {
+			break
+		}
+	}
+	w.Close()
+
+	// First restart: torn tail truncated.
+	w2, info, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.TornTail {
+		t.Fatal("torn tail not reported on first restart")
+	}
+	survivors := int(info.NextIndex) - 1
+	fillRecords(t, w2, 3, 24)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: clean, all records (old survivors + new) replay.
+	w3, info, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if info.TornTail {
+		t.Fatal("second restart reported a torn tail after clean close")
+	}
+	if _, _, rinfo := collect(t, w3, 0); rinfo.Records != survivors+3 {
+		t.Fatalf("replayed %d records, want %d", rinfo.Records, survivors+3)
+	}
+}

@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment file layout: a 16-byte header followed by a run of records.
+//
+//	offset 0  8 bytes  magic "WALSEG01"
+//	offset 8  u64      index of the first record this segment may hold
+//
+// Segments are named wal-<first index, 16 hex digits>.seg so that the
+// lexicographic order of names is the index order.
+const (
+	segmentMagic      = "WALSEG01"
+	segmentHeaderSize = 16
+	segmentSuffix     = ".seg"
+	segmentPrefix     = "wal-"
+)
+
+// segmentInfo is one on-disk segment.
+type segmentInfo struct {
+	path  string
+	first uint64 // index of the first record the segment may hold
+}
+
+// segmentName renders the canonical file name for a segment starting at
+// first.
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%s%016x%s", segmentPrefix, first, segmentSuffix)
+}
+
+// parseSegmentName extracts the first index from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	first, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return first, true
+}
+
+// listSegments returns the directory's segments sorted by first index.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	segs := make([]segmentInfo, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segmentInfo{path: filepath.Join(dir, e.Name()), first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// encodeSegmentHeader renders a segment header for a segment starting at
+// first.
+func encodeSegmentHeader(first uint64) []byte {
+	buf := make([]byte, segmentHeaderSize)
+	copy(buf, segmentMagic)
+	binary.LittleEndian.PutUint64(buf[8:], first)
+	return buf
+}
+
+// parseSegmentHeader validates b's leading segment header and returns its
+// first index. A short or mismatched header reports ErrTorn/ErrCorrupt like
+// a record would.
+func parseSegmentHeader(b []byte) (uint64, error) {
+	if len(b) < segmentHeaderSize {
+		return 0, ErrTorn
+	}
+	if string(b[:8]) != segmentMagic {
+		return 0, ErrCorrupt
+	}
+	return binary.LittleEndian.Uint64(b[8:16]), nil
+}
+
+// syncDir fsyncs a directory, making renames and creates in it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
