@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench report examples vet lint cover fuzz crash clean
+.PHONY: all build test test-short race bench microbench report examples vet lint cover fuzz crash clean
 
 all: build vet lint test
 
@@ -31,6 +31,15 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1200s .
+
+# Hot-path microbenchmarks (codec allocs, WAL group commit, full replica
+# pipeline) at a fixed iteration count so CI gets stable allocs/op without
+# waiting for time-based calibration — see docs/PERFORMANCE.md.
+microbench:
+	$(GO) test -run=NONE -bench 'BenchmarkCommandEncode|BenchmarkSlotWrap|BenchmarkReplicaPipeline' \
+		-benchmem -benchtime=100x -count=2 ./internal/smr
+	$(GO) test -run=NONE -bench 'BenchmarkWALAppendGroup' \
+		-benchmem -benchtime=100x -count=2 ./internal/wal
 
 # Regenerates EXPERIMENTS-style report on stdout (plus CSVs under ./out).
 report:

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +35,7 @@ func run() error {
 		soakRuns = flag.Int("soak-runs", 150, "runs per row for the T5 soak campaign")
 		outPath  = flag.String("out", "", "also write the report to this file")
 		csvDir   = flag.String("csv", "", "also write each experiment as <dir>/<ID>.csv")
+		f4JSON   = flag.String("f4-json", "", "run F4b and write its machine-readable report to this file (BENCH_F4.json)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,31 @@ func run() error {
 		}
 		ids = sel
 	}
+	if *f4JSON != "" {
+		// F4b runs once here (with the raw report captured), not again in the
+		// loop below.
+		var kept []string
+		for _, id := range ids {
+			if id != "F4b" {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+		start := time.Now()
+		res, report := bench.HotPath()
+		if _, err := res.WriteTo(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "_F4b completed in %s_\n\n", time.Since(start).Round(time.Millisecond))
+		if err := writeF4JSON(*f4JSON, report); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, "F4b", res); err != nil {
+				return err
+			}
+		}
+	}
 	for _, id := range ids {
 		start := time.Now()
 		res := exps[id]()
@@ -97,6 +124,20 @@ func resolveExpID(ids []string, raw string) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// writeF4JSON commits the F4b report to disk with a generation timestamp,
+// giving future changes a machine-readable perf trajectory to diff against.
+func writeF4JSON(path string, report *bench.HotPathReport) error {
+	wrapped := struct {
+		GeneratedAt string `json:"generatedAt"`
+		*bench.HotPathReport
+	}{time.Now().UTC().Format(time.RFC3339), report}
+	data, err := json.MarshalIndent(wrapped, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func writeCSV(dir, id string, res *bench.Result) error {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/consensus"
+	"repro/internal/debugsrv"
 	"repro/internal/smr"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -55,6 +56,7 @@ func run() error {
 		fsync   = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 		fsyncIv = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
 		snapEv  = flag.Int("snap-every", 64, "applied commands between snapshots (<0 disables)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof and expvar debug endpoints on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
@@ -77,10 +79,10 @@ func run() error {
 			SnapshotEvery: *snapEv,
 		}
 	}
-	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *tickMS, *stats, dur)
+	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *tickMS, *stats, *pprof, dur)
 }
 
-func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Duration, dur *smr.DurabilityOptions) error {
+func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Duration, pprofAddr string, dur *smr.DurabilityOptions) error {
 	n := len(peerList)
 	cfg := consensus.Config{ID: consensus.ProcessID(id), N: n, F: f, E: e, Delta: 10}
 	replica, err := smr.NewReplica(cfg, time.Duration(tickMS)*time.Millisecond)
@@ -125,6 +127,18 @@ func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Du
 
 	fmt.Printf("replica %s up: consensus %s, clients %s, n=%d f=%d e=%d\n",
 		cfg.ID, addrs[cfg.ID], srv.Addr(), n, f, e)
+
+	if pprofAddr != "" {
+		dbgAddr, err := debugsrv.Serve(pprofAddr, map[string]func() any{
+			"kv.transport": func() any { st, _ := replica.TransportStats(); return st },
+			"kv.replica":   func() any { return replica.Info() },
+			"kv.batch":     func() any { return replica.BatchStats() },
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug: pprof and expvar on http://%s/debug/\n", dbgAddr)
+	}
 
 	if statsEvery > 0 {
 		ticker := time.NewTicker(statsEvery)

@@ -1,7 +1,8 @@
 // Command protolint runs the repository's custom static-analysis suite
 // (internal/analyzers) over the module: determinism of the protocol state
-// machines, centralised quorum arithmetic, lock discipline, and exhaustive
-// message dispatch. See docs/ANALYZERS.md.
+// machines, centralised quorum arithmetic, lock discipline, exhaustive
+// message dispatch, and no blocking I/O inside critical sections. See
+// docs/ANALYZERS.md.
 //
 // Usage:
 //

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/core"
+	"repro/internal/debugsrv"
 	"repro/internal/node"
 	"repro/internal/omega"
 	"repro/internal/transport"
@@ -57,6 +58,7 @@ func run() error {
 		timeout = flag.Duration("timeout", 30*time.Second, "client decision timeout")
 		dataDir = flag.String("data-dir", "", "durability directory (journals ballot/vote state); empty runs in-memory")
 		fsync   = flag.String("fsync", "always", "journal fsync policy: always | interval | never")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof and expvar debug endpoints on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
@@ -66,10 +68,10 @@ func run() error {
 	if *id < 0 || *peers == "" {
 		return fmt.Errorf("server mode needs -id and -peers; client mode needs -propose and -proxy")
 	}
-	return serverMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *object, *tickMS, *stats, *dataDir, *fsync)
+	return serverMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *object, *tickMS, *stats, *dataDir, *fsync, *pprof)
 }
 
-func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, statsEvery time.Duration, dataDir, fsync string) error {
+func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, statsEvery time.Duration, dataDir, fsync, pprofAddr string) error {
 	n := len(peerList)
 	cfg := consensus.Config{ID: consensus.ProcessID(id), N: n, F: f, E: e, Delta: 10}
 	if err := cfg.Validate(); err != nil {
@@ -91,6 +93,7 @@ func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, st
 	}
 	host := node.New(n, nil, time.Duration(tickMS)*time.Millisecond, det, proto)
 
+	var journal *wal.WAL // nil when running in-memory; read by the debug vars
 	if dataDir != "" {
 		// Journal the core instance's durable state (ballot, vote, decided
 		// value) so a restarted process re-enters the protocol with its
@@ -103,6 +106,7 @@ func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, st
 		if err != nil {
 			return err
 		}
+		journal = w
 		var last []byte
 		if _, err := w.Replay(0, func(_ uint64, p []byte) error {
 			last = append(last[:0], p...)
@@ -158,6 +162,22 @@ func serverMain(id int, peerList []string, f, e int, object bool, tickMS int, st
 	defer ln.Close()
 	fmt.Printf("process %s up: consensus %s, clients %s, n=%d f=%d e=%d mode=%s\n",
 		cfg.ID, addrs[cfg.ID], clientAddr, n, f, e, mode)
+
+	if pprofAddr != "" {
+		dbgAddr, err := debugsrv.Serve(pprofAddr, map[string]func() any{
+			"twostep.transport": func() any { return tr.Stats() },
+			"twostep.wal": func() any {
+				if journal == nil {
+					return nil
+				}
+				return journal.Stats()
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug: pprof and expvar on http://%s/debug/\n", dbgAddr)
+	}
 
 	if statsEvery > 0 {
 		ticker := time.NewTicker(statsEvery)

@@ -155,5 +155,5 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 
 // Suite returns the full protolint analyzer suite in a stable order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Determinism, QuorumArith, LockGuard, MsgSwitch}
+	return []*Analyzer{Determinism, QuorumArith, LockGuard, MsgSwitch, IOLock}
 }

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+func TestIOLock(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/iolock", "repro/internal/iolockfixture", analyzers.IOLock)
+}

@@ -22,6 +22,7 @@ func Experiments(soakRuns int) map[string]func() *Result {
 		"F2":  LatencyVsConflicts,
 		"F3":  WAN,
 		"F4":  Throughput,
+		"F4b": HotPathF4b,
 		"F5":  Placement,
 		"A1":  Ablation,
 	}

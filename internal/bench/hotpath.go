@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// HotPathRow is one F4b configuration's measurements, JSON-ready so the
+// report can be committed as a machine-readable perf baseline.
+type HotPathRow struct {
+	Transport   string  `json:"transport"` // mem | tcp
+	Clients     int     `json:"clients"`   // concurrent proxies
+	Batching    string  `json:"batching"`  // none | adaptive | fixed-2ms
+	Path        string  `json:"path"`      // new | legacy
+	Ops         int     `json:"ops"`       // committed Puts
+	OpsPerSec   float64 `json:"opsPerSec"`
+	P50Micros   float64 `json:"p50Micros"` // per-Put latency percentiles
+	P95Micros   float64 `json:"p95Micros"`
+	AllocsPerOp float64 `json:"allocsPerOp"` // process-wide heap allocations / op
+	FsyncsPerOp float64 `json:"fsyncsPerOp"` // cluster-wide WAL fsyncs / op
+	Sends       uint64  `json:"sends"`       // fabric-wide messages delivered
+	Drops       uint64  `json:"drops"`       // fabric-wide messages dropped
+}
+
+// HotPathReport is the machine-readable form of F4b (BENCH_F4.json).
+type HotPathReport struct {
+	ID           string       `json:"id"`
+	Title        string       `json:"title"`
+	N            int          `json:"n"`
+	F            int          `json:"f"`
+	E            int          `json:"e"`
+	FsyncPolicy  string       `json:"fsyncPolicy"`
+	OpsPerClient int          `json:"opsPerClient"`
+	Rows         []HotPathRow `json:"rows"`
+}
+
+// HotPathF4b regenerates F4b for the Experiments registry.
+func HotPathF4b() *Result {
+	r, _ := HotPath()
+	return r
+}
+
+// HotPath regenerates F4b: hot-path throughput and latency of the durable
+// (fsync-always) replicated KV store across client counts, batching modes,
+// and transports — with the pre-overhaul code path ("legacy": in-lock fsync
+// and sends, no group commit) measured in the same run for an honest
+// baseline. Returns both the rendered table and the raw report.
+func HotPath() (*Result, *HotPathReport) {
+	const n, f, e = 5, 2, 2
+	rep := &HotPathReport{
+		ID:    "F4b",
+		Title: fmt.Sprintf("durable hot path: ops/s, latency, allocs, fsyncs (n=%d, f=%d, e=%d, fsync=always)", n, f, e),
+		N:     n, F: f, E: e,
+		FsyncPolicy:  wal.SyncAlways.String(),
+		OpsPerClient: 100,
+	}
+	res := &Result{
+		ID:     "F4b",
+		Title:  rep.Title,
+		Header: []string{"transport", "clients", "batching", "path", "ops", "ops/sec", "p50 µs", "p95 µs", "allocs/op", "fsyncs/op"},
+	}
+
+	type config struct {
+		transport string
+		clients   int
+		batching  string
+		path      string
+		ops       int
+	}
+	var grid []config
+	for _, clients := range []int{1, 2, 4, 8} {
+		for _, batching := range []string{"none", "adaptive", "fixed-2ms"} {
+			grid = append(grid, config{"mem", clients, batching, "new", rep.OpsPerClient})
+		}
+		// The legacy path only supports unbatched submission comparisons —
+		// batching changes what one "op" costs and would blur the toggle.
+		grid = append(grid, config{"mem", clients, "none", "legacy", rep.OpsPerClient})
+	}
+	// TCP is the expensive fabric: a reduced grid keeps F4b's runtime sane.
+	for _, clients := range []int{1, 8} {
+		for _, batching := range []string{"none", "adaptive"} {
+			grid = append(grid, config{"tcp", clients, batching, "new", 30})
+		}
+	}
+
+	var legacy8, new8 float64
+	for _, c := range grid {
+		row, err := hotPathRun(n, f, e, c.transport, c.clients, c.batching, c.path, c.ops)
+		if err != nil {
+			res.AddRow(c.transport, c.clients, c.batching, c.path, "—", "err: "+err.Error(), "—", "—", "—", "—")
+			continue
+		}
+		rep.Rows = append(rep.Rows, row)
+		res.AddRow(row.Transport, row.Clients, row.Batching, row.Path, row.Ops,
+			fmt.Sprintf("%.0f", row.OpsPerSec),
+			fmt.Sprintf("%.0f", row.P50Micros), fmt.Sprintf("%.0f", row.P95Micros),
+			fmt.Sprintf("%.0f", row.AllocsPerOp), fmt.Sprintf("%.2f", row.FsyncsPerOp))
+		if c.transport == "mem" && c.clients == 8 && c.batching == "none" {
+			switch c.path {
+			case "legacy":
+				legacy8 = row.OpsPerSec
+			case "new":
+				new8 = row.OpsPerSec
+			}
+		}
+	}
+	if legacy8 > 0 && new8 > 0 {
+		res.AddNote("8-client unbatched speedup, new vs legacy path: %.1fx (group commit + out-of-lock I/O; acceptance floor 2x).", new8/legacy8)
+	}
+	res.AddNote("Every row runs full durability with fsync `always`; fsyncs/op is the cluster-wide WAL sync count over committed Puts — below 1 means group commit amortized a disk flush across concurrent operations.")
+	res.AddNote("`legacy` re-enables the pre-overhaul hot path (fsync and sends inside the replica lock, no group commit, no outbox) on the same binary via SetLegacyPath.")
+	res.AddNote("allocs/op is process-wide (all five replicas plus clients), measured with runtime.MemStats deltas.")
+	return res, rep
+}
+
+// hotPathRun boots one durable cluster on the requested fabric and hammers
+// it, returning the measured row.
+func hotPathRun(n, f, e int, fabric string, clients int, batching, path string, opsPerClient int) (HotPathRow, error) {
+	row := HotPathRow{Transport: fabric, Clients: clients, Batching: batching, Path: path}
+	dir, err := os.MkdirTemp("", "bench-f4b-")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+
+	replicas := make([]*smr.Replica, n)
+	var mesh *transport.Mesh
+	var tcps []*transport.TCP
+	if fabric == "mem" {
+		mesh = transport.NewMesh(n)
+		defer mesh.Close()
+	}
+	for i := 0; i < n; i++ {
+		cfg := consensus.Config{ID: consensus.ProcessID(i), N: n, F: f, E: e, Delta: 10}
+		rep, err := smr.NewReplica(cfg, time.Millisecond)
+		if err != nil {
+			return row, err
+		}
+		if _, err := rep.EnableDurability(smr.DurabilityOptions{
+			Dir:           fmt.Sprintf("%s/r%d", dir, i),
+			Policy:        wal.SyncAlways,
+			SnapshotEvery: -1, // keep the run free of snapshot interference
+		}); err != nil {
+			return row, err
+		}
+		var tr transport.Transport
+		if fabric == "mem" {
+			tr, err = mesh.Endpoint(cfg.ID, rep.Handle)
+		} else {
+			codec := consensus.NewCodec()
+			smr.RegisterMessages(codec)
+			addrs := make(map[consensus.ProcessID]string, n)
+			for p := 0; p < n; p++ {
+				addrs[consensus.ProcessID(p)] = "127.0.0.1:0"
+			}
+			var t *transport.TCP
+			t, err = transport.NewTCP(cfg.ID, addrs, codec, rep.Handle)
+			tcps = append(tcps, t)
+			tr = t
+		}
+		if err != nil {
+			return row, err
+		}
+		rep.BindTransport(tr)
+		replicas[i] = rep
+	}
+	if fabric == "tcp" {
+		for i, t := range tcps {
+			defer t.Close()
+			for j, o := range tcps {
+				if i != j {
+					t.SetPeerAddr(consensus.ProcessID(j), o.Addr())
+				}
+			}
+		}
+	}
+	for _, rep := range replicas {
+		switch batching {
+		case "adaptive":
+			rep.EnableAdaptiveBatching(0)
+		case "fixed-2ms":
+			rep.EnableBatching(2*time.Millisecond, 0)
+		}
+		rep.SetLegacyPath(path == "legacy")
+		rep.Start()
+		defer rep.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	syncsBefore := clusterSyncs(replicas)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	lats := make([][]float64, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// All clients drive one proposer (the classic SMR deployment):
+			// that is what lets the batcher and the WAL group commit see
+			// concurrent commands at a single replica. F4 keeps the
+			// round-robin variant for the conflict-heavy view.
+			kv := smr.NewKV(replicas[0])
+			for j := 0; j < opsPerClient; j++ {
+				t0 := time.Now()
+				if err := kv.Put(ctx, fmt.Sprintf("c%d-k%d", c, j), "v"); err != nil {
+					errCh <- err
+					return
+				}
+				lats[c] = append(lats[c], float64(time.Since(t0).Microseconds()))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return row, err
+	}
+
+	var lat Sample
+	for _, ls := range lats {
+		for _, x := range ls {
+			lat.Add(x)
+		}
+	}
+	var st transport.Stats
+	if mesh != nil {
+		st = mesh.Stats()
+	} else {
+		for _, t := range tcps {
+			st = st.Merge(t.Stats())
+		}
+	}
+	row.Sends = st.Sends
+	row.Drops = st.Drops
+
+	ops := clients * opsPerClient
+	row.Ops = ops
+	row.OpsPerSec = float64(ops) / elapsed.Seconds()
+	row.P50Micros = lat.Percentile(50)
+	row.P95Micros = lat.Percentile(95)
+	row.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(ops)
+	row.FsyncsPerOp = float64(clusterSyncs(replicas)-syncsBefore) / float64(ops)
+	return row, nil
+}
+
+// clusterSyncs sums the WAL fsync counters across replicas.
+func clusterSyncs(replicas []*smr.Replica) uint64 {
+	var total uint64
+	for _, r := range replicas {
+		total += r.Info().WalSyncs
+	}
+	return total
+}

@@ -1,6 +1,7 @@
 package consensus_test
 
 import (
+	"encoding/json"
 	"reflect"
 	"testing"
 
@@ -84,6 +85,31 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got, msg) {
 			t.Errorf("%s: round trip mismatch:\n got %#v\nwant %#v", msg.Kind(), got, msg)
+		}
+	}
+}
+
+func TestAppendJSONString(t *testing.T) {
+	cases := []string{
+		"",
+		"plain-ascii_0123",
+		`quote " inside`,
+		`back\slash`,
+		"tab\tnewline\nbell\a",
+		"control \x01\x1f",
+		"unicode é ☃ 你好",
+		"emoji \U0001F600 mix",
+		"html <&> stays valid",
+	}
+	for _, s := range cases {
+		lit := consensus.AppendJSONString(nil, s)
+		var got string
+		if err := json.Unmarshal(lit, &got); err != nil {
+			t.Errorf("%q: produced invalid JSON %q: %v", s, lit, err)
+			continue
+		}
+		if got != s {
+			t.Errorf("%q: round trip gave %q", s, got)
 		}
 	}
 }

@@ -1,0 +1,56 @@
+package debugsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServePublishesVarsAndPprof(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0", map[string]func() any{
+		"test.counter": func() any { return map[string]int{"sends": 42} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatalf("vars not JSON: %v\n%s", err, body)
+	}
+	if string(all["test.counter"]) != `{"sends":42}` {
+		t.Fatalf("test.counter = %s", all["test.counter"])
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(idx), "goroutine") {
+		t.Fatalf("pprof index missing profiles:\n%.200s", idx)
+	}
+}
+
+func TestServeRejectsDuplicateVar(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", map[string]func() any{
+		"test.dup": func() any { return 1 },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Serve("127.0.0.1:0", map[string]func() any{
+		"test.dup": func() any { return 2 },
+	}); err == nil {
+		t.Fatal("expected duplicate-publish error")
+	}
+}

@@ -7,21 +7,34 @@ import (
 	"time"
 )
 
-// batcher accumulates commands for a short window and replicates them as a
-// single OpBatch command in one consensus instance — the standard
-// throughput amplifier for SMR (many client operations per protocol round
-// trip). It sits strictly above the replica: the consensus layer sees one
-// value per slot either way.
+// batcher accumulates commands and replicates them as a single OpBatch
+// command in one consensus instance — the standard throughput amplifier for
+// SMR (many client operations per protocol round trip). It sits strictly
+// above the replica: the consensus layer sees one value per slot either way.
+//
+// Two modes:
+//
+//   - fixed window (EnableBatching): the first command arms a timer; the
+//     window's arrivals flush together when it fires. Amortizes well under
+//     load but taxes an idle system with the full window of latency.
+//   - adaptive (EnableAdaptiveBatching): a command finding the batcher idle
+//     flushes immediately; commands arriving while that flush is in flight
+//     accumulate and go out together the moment it completes. This is the
+//     classic group-commit heuristic — batch-what-arrives-during-commit —
+//     and costs an uncontended client nothing.
 type batcher struct {
-	replica *Replica
-	window  time.Duration
-	maxSize int
+	replica  *Replica
+	window   time.Duration
+	maxSize  int
+	adaptive bool
 
 	mu       sync.Mutex
 	pending  []Command
 	waiters  []chan error
 	flushing bool
 	closed   bool
+	batches  uint64 // consensus instances submitted
+	cmds     uint64 // commands carried by them
 }
 
 // newBatcher builds a batcher with the given accumulation window and
@@ -33,14 +46,50 @@ func newBatcher(r *Replica, window time.Duration, maxSize int) *batcher {
 	return &batcher{replica: r, window: window, maxSize: maxSize}
 }
 
-// EnableBatching turns on write batching for this replica's Execute-based
-// APIs (KV included): commands submitted within `window` of each other are
-// replicated together, up to maxSize per batch (0 = default 64). Must be
-// called before the replica is shared between goroutines.
+// EnableBatching turns on fixed-window write batching for this replica's
+// Execute-based APIs (KV included): commands submitted within `window` of
+// each other are replicated together, up to maxSize per batch (0 = default
+// 64). Must be called before the replica is shared between goroutines.
 func (r *Replica) EnableBatching(window time.Duration, maxSize int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.batch = newBatcher(r, window, maxSize)
+}
+
+// EnableAdaptiveBatching turns on adaptive write batching (see the batcher
+// comment): no added latency when idle, full batching under concurrency.
+// maxSize caps one batch (0 = default 64). Must be called before the
+// replica is shared between goroutines.
+func (r *Replica) EnableAdaptiveBatching(maxSize int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := newBatcher(r, 0, maxSize)
+	b.adaptive = true
+	r.batch = b
+}
+
+// BatchStats is the batcher's counter surface (expvar, F4b).
+type BatchStats struct {
+	Mode    string `json:"mode"` // off, fixed, adaptive
+	Batches uint64 `json:"batches"`
+	Cmds    uint64 `json:"cmds"`
+}
+
+// BatchStats reports batching mode and counters.
+func (r *Replica) BatchStats() BatchStats {
+	r.mu.Lock()
+	b := r.batch
+	r.mu.Unlock()
+	if b == nil {
+		return BatchStats{Mode: "off"}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	mode := "fixed"
+	if b.adaptive {
+		mode = "adaptive"
+	}
+	return BatchStats{Mode: mode, Batches: b.batches, Cmds: b.cmds}
 }
 
 // executeBatched enqueues cmd and blocks until its batch is decided and
@@ -55,15 +104,28 @@ func (b *batcher) executeBatched(ctx context.Context, cmd Command) error {
 	ch := make(chan error, 1)
 	b.waiters = append(b.waiters, ch)
 	full := len(b.pending) >= b.maxSize
+	inline := false
 	if !b.flushing {
 		b.flushing = true
-		go b.flushAfter(b.window)
-	} else if full {
-		// Flush immediately by signalling with a zero-delay flusher;
-		// the in-flight timer flush will find nothing left.
+		if b.adaptive {
+			// First arrival of a burst: flush on this goroutine. An idle
+			// batcher therefore adds no handoff — the uncontended client
+			// pays exactly an unbatched Execute — and only if commands
+			// accumulate during the flush is the drain loop spawned.
+			inline = true
+		} else {
+			go b.flushAfter(b.window)
+		}
+	} else if full && !b.adaptive {
+		// Flush immediately by signalling with a zero-delay flusher; the
+		// in-flight timer flush will find nothing left. (The adaptive loop
+		// splits oversize queues by itself.)
 		go b.flushAfter(0)
 	}
 	b.mu.Unlock()
+	if inline {
+		b.flushFirst()
+	}
 
 	select {
 	case err := <-ch:
@@ -73,7 +135,82 @@ func (b *batcher) executeBatched(ctx context.Context, cmd Command) error {
 	}
 }
 
-// flushAfter waits for the window and replicates everything pending.
+// flushLoop drains the queue in maxSize chunks until it is empty, then
+// parks (flushing=false). While one chunk is in consensus, new arrivals
+// accumulate behind it and form the next chunk — the adaptive window is
+// exactly the in-flight commit's duration.
+func (b *batcher) flushLoop() {
+	var woke int
+	var lastFlush time.Duration
+	for {
+		if woke > 2 && lastFlush > 0 {
+			// The waiters just released are this batcher's own future load:
+			// give them one beat to resubmit so the next chunk carries them
+			// all. Without it the loop re-collects before they reach the
+			// queue and the population splits into two half-size batches
+			// alternating forever. The beat is a fraction of the commit just
+			// paid, so it never dominates the cycle, and small populations
+			// (woke <= 2) skip it: for them the delay costs more latency
+			// than the one fsync it could merge.
+			gather := lastFlush / 4
+			if gather > time.Millisecond {
+				gather = time.Millisecond
+			}
+			time.Sleep(gather)
+		}
+		cmds, waiters, ok := b.takeChunk()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		b.flushOne(cmds, waiters)
+		lastFlush = time.Since(start)
+		woke = len(cmds)
+	}
+}
+
+// takeChunk detaches up to maxSize pending commands for flushing; when the
+// queue is empty (or the batcher closed) it parks the batcher instead
+// (flushing = false) and reports false.
+func (b *batcher) takeChunk() ([]Command, []chan error, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.pending)
+	if n == 0 || b.closed {
+		b.flushing = false
+		return nil, nil, false
+	}
+	if n > b.maxSize {
+		n = b.maxSize
+	}
+	cmds := b.pending[:n:n]
+	waiters := b.waiters[:n:n]
+	b.pending = b.pending[n:]
+	b.waiters = b.waiters[n:]
+	return cmds, waiters, true
+}
+
+// flushFirst runs the opening flush of an adaptive burst on the submitting
+// goroutine, then hands any backlog that built up behind it to flushLoop.
+func (b *batcher) flushFirst() {
+	cmds, waiters, ok := b.takeChunk()
+	if !ok {
+		return
+	}
+	b.flushOne(cmds, waiters)
+	b.mu.Lock()
+	more := len(b.pending) > 0 && !b.closed
+	if !more {
+		b.flushing = false
+	}
+	b.mu.Unlock()
+	if more {
+		go b.flushLoop()
+	}
+}
+
+// flushAfter waits for the window and replicates everything pending, split
+// into maxSize chunks.
 func (b *batcher) flushAfter(window time.Duration) {
 	if window > 0 {
 		time.Sleep(window)
@@ -85,17 +222,36 @@ func (b *batcher) flushAfter(window time.Duration) {
 	b.waiters = nil
 	b.flushing = false
 	b.mu.Unlock()
-	if len(cmds) == 0 {
-		return
+	for len(cmds) > 0 {
+		n := len(cmds)
+		if n > b.maxSize {
+			n = b.maxSize
+		}
+		b.flushOne(cmds[:n:n], waiters[:n:n])
+		cmds, waiters = cmds[n:], waiters[n:]
 	}
+}
 
-	batch := Command{Op: OpBatch, Subs: cmds}
-	// The batch needs its own unique ID (sub-IDs are already unique, but
-	// the batch value must be distinguishable as a whole).
-	b.replica.mu.Lock()
-	b.replica.seq++
-	batch.ID = fmt.Sprintf("%s-batch-%d", b.replica.cfg.ID, b.replica.seq)
-	b.replica.mu.Unlock()
+// flushOne replicates one chunk and distributes the outcome to its
+// waiters. A single command skips the OpBatch wrapper entirely, so an
+// uncontended adaptive submit costs exactly one unbatched Submit.
+func (b *batcher) flushOne(cmds []Command, waiters []chan error) {
+	var batch Command
+	if len(cmds) == 1 {
+		batch = cmds[0]
+	} else {
+		batch = Command{Op: OpBatch, Subs: cmds}
+		// The batch needs its own unique ID (sub-IDs are already unique,
+		// but the batch value must be distinguishable as a whole).
+		b.replica.mu.Lock()
+		b.replica.seq++
+		batch.ID = fmt.Sprintf("%s-batch-%d", b.replica.cfg.ID, b.replica.seq)
+		b.replica.mu.Unlock()
+	}
+	b.mu.Lock()
+	b.batches++
+	b.cmds += uint64(len(cmds))
+	b.mu.Unlock()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -108,7 +264,8 @@ func (b *batcher) flushAfter(window time.Duration) {
 	}
 }
 
-// close fails the current queue.
+// close fails the queued waiters; chunks already detached by an in-flight
+// flush report their own outcome.
 func (b *batcher) close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()

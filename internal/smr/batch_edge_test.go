@@ -1,0 +1,200 @@
+package smr_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/smr"
+)
+
+// Adaptive batching must not tax an idle client: a lone sequential writer
+// gets one consensus instance per command (no OpBatch wrapper, no window
+// sleep), so applied slots == writes.
+func TestAdaptiveBatchingIdleFastPath(t *testing.T) {
+	replicas, cleanup := startCluster(t, 3, 1, 1)
+	defer cleanup()
+	replicas[0].EnableAdaptiveBatching(0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	for i := 0; i < 3; i++ {
+		if err := kv.Put(ctx, fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if applied := replicas[0].Applied(); applied != 3 {
+		t.Fatalf("applied %d slots for 3 idle writes, want 3", applied)
+	}
+	st := replicas[0].BatchStats()
+	if st.Mode != "adaptive" || st.Batches != 3 || st.Cmds != 3 {
+		t.Fatalf("stats = %+v, want adaptive 3/3", st)
+	}
+}
+
+// Under concurrency the adaptive batcher groups whatever arrives while a
+// flush is in flight, so consensus instances < commands.
+func TestAdaptiveBatchingCoalescesUnderLoad(t *testing.T) {
+	replicas, cleanup := startCluster(t, 5, 2, 2)
+	defer cleanup()
+	replicas[0].EnableAdaptiveBatching(0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := kv.Put(ctx, fmt.Sprintf("a%d", i), "v"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < writers; i++ {
+		if _, ok := kv.Get(fmt.Sprintf("a%d", i)); !ok {
+			t.Fatalf("a%d missing", i)
+		}
+	}
+	st := replicas[0].BatchStats()
+	if st.Cmds != writers {
+		t.Fatalf("cmds = %d, want %d", st.Cmds, writers)
+	}
+	if st.Batches >= writers {
+		t.Fatalf("%d batches for %d concurrent writes: no coalescing", st.Batches, writers)
+	}
+}
+
+// A caller whose context dies mid-window gets its error immediately, but
+// the command is already queued: the batch must still commit, and the
+// abandoned waiter channel (capacity 1) must absorb the late result
+// without blocking the flusher.
+func TestBatchCtxCancelMidBatch(t *testing.T) {
+	replicas, cleanup := startCluster(t, 3, 1, 1)
+	defer cleanup()
+	replicas[0].EnableBatching(100*time.Millisecond, 0)
+	kv := smr.NewKV(replicas[0])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := kv.Put(ctx, "late", "v")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := kv.Get("late"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned command never committed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close racing an in-flight flush: every submission resolves (either
+// applied or ErrClosed), nothing deadlocks, nothing panics.
+func TestBatchCloseRacesFlush(t *testing.T) {
+	replicas, cleanup := startCluster(t, 3, 1, 1)
+	replicas[0].EnableAdaptiveBatching(4)
+	kv := smr.NewKV(replicas[0])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const writers = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- kv.Put(ctx, fmt.Sprintf("c%d", i), "v")
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	cleanup() // closes all replicas while writes are in flight
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !errors.Is(err, smr.ErrClosed) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+// maxSize is a hard cap: an overflowing queue is split into several
+// batches, each at most maxSize commands, and none are lost.
+func TestBatchMaxSizeOverflowSplits(t *testing.T) {
+	replicas, cleanup := startCluster(t, 3, 1, 1)
+	defer cleanup()
+	const maxSize = 4
+	replicas[0].EnableBatching(20*time.Millisecond, maxSize)
+	kv := smr.NewKV(replicas[0])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const writers = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := kv.Put(ctx, fmt.Sprintf("s%d", i), "v"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < writers; i++ {
+		if _, ok := kv.Get(fmt.Sprintf("s%d", i)); !ok {
+			t.Fatalf("s%d missing", i)
+		}
+	}
+	total := 0
+	for slot := 0; slot < replicas[0].Applied(); slot++ {
+		v, ok := replicas[0].LogValue(slot)
+		if !ok {
+			continue
+		}
+		cmd, err := smr.DecodeCommand(v)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		if cmd.Op == smr.OpBatch {
+			if len(cmd.Subs) > maxSize {
+				t.Fatalf("slot %d batch has %d commands, cap %d", slot, len(cmd.Subs), maxSize)
+			}
+			total += len(cmd.Subs)
+		} else {
+			total++
+		}
+	}
+	if total != writers {
+		t.Fatalf("log carries %d commands, want %d", total, writers)
+	}
+	if st := replicas[0].BatchStats(); st.Cmds != writers {
+		t.Fatalf("stats cmds = %d, want %d", st.Cmds, writers)
+	}
+}

@@ -2,6 +2,7 @@ package smr_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
@@ -117,6 +118,34 @@ func TestPutAllIsAtomic(t *testing.T) {
 	}
 	if err := kv.PutAll(ctx, nil); err != nil {
 		t.Fatalf("empty PutAll: %v", err)
+	}
+}
+
+// The hand-spliced Command encoding must survive strings encoding/json
+// would escape, nested batches included.
+func TestCommandEncodeEscaping(t *testing.T) {
+	cmd := smr.Command{
+		ID: "p0-\"quoted\"-1",
+		Op: smr.OpBatch,
+		Subs: []smr.Command{
+			{ID: "a\tb", Op: smr.OpPut, Key: "ké☃", Val: "line\nbreak \U0001F600"},
+			{ID: `back\slash`, Op: smr.OpDelete, Key: "<&>"},
+			{ID: "c", Op: smr.OpNoop},
+		},
+	}
+	v, err := cmd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(v.Data)) {
+		t.Fatalf("invalid JSON: %s", v.Data)
+	}
+	got, err := smr.DecodeCommand(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(cmd) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cmd)
 	}
 }
 

@@ -11,7 +11,7 @@ package smr
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
+	"sync"
 
 	"repro/internal/consensus"
 )
@@ -42,19 +42,71 @@ type Command struct {
 	Subs []Command `json:"subs,omitempty"`
 }
 
+// FNV-1a parameters, inlined so hashing a command ID allocates nothing
+// (hash/fnv.New64a escapes to the heap). Must match hash/fnv bit for bit:
+// the key orders commands across replicas of mixed builds.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// cmdBufPool recycles Command encode scratch buffers.
+var cmdBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+// appendJSON splices the command's JSON encoding into dst by hand, matching
+// the struct tags above (omitempty included) so DecodeCommand stays
+// reflective. Commands are the single hottest marshal in the system — one
+// per client operation — and the spliced form needs no encoder state and no
+// intermediate copy.
+func (c Command) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = consensus.AppendJSONString(dst, c.ID)
+	dst = append(dst, `,"op":`...)
+	dst = consensus.AppendJSONString(dst, string(c.Op))
+	if c.Key != "" {
+		dst = append(dst, `,"key":`...)
+		dst = consensus.AppendJSONString(dst, c.Key)
+	}
+	if c.Val != "" {
+		dst = append(dst, `,"val":`...)
+		dst = consensus.AppendJSONString(dst, c.Val)
+	}
+	if len(c.Subs) > 0 {
+		dst = append(dst, `,"subs":[`...)
+		for i, s := range c.Subs {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = s.appendJSON(dst)
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
 // Encode packs the command into a consensus value: the ordering key is a
 // hash of the command ID (ties broken by the serialized payload, keeping
-// the order total), the payload is the JSON encoding.
+// the order total), the payload is the JSON encoding. The payload is built
+// in a pooled scratch buffer; the only per-call allocation is the payload
+// string itself. The error return is kept for call-site compatibility and
+// is always nil.
 func (c Command) Encode() (consensus.Value, error) {
-	body, err := json.Marshal(c)
-	if err != nil {
-		return consensus.None, fmt.Errorf("smr: encode command: %w", err)
+	bp := cmdBufPool.Get().(*[]byte)
+	b := c.appendJSON((*bp)[:0])
+	var h uint64 = fnvOffset64
+	for i := 0; i < len(c.ID); i++ {
+		h ^= uint64(c.ID[i])
+		h *= fnvPrime64
 	}
-	h := fnv.New64a()
-	h.Write([]byte(c.ID))
 	// Clear the top bit so the key stays well above consensus.None.
-	key := int64(h.Sum64() >> 1)
-	return consensus.Value{Key: key, Data: string(body)}, nil
+	key := int64(h >> 1)
+	v := consensus.Value{Key: key, Data: string(b)}
+	*bp = b
+	cmdBufPool.Put(bp)
+	return v, nil
 }
 
 // DecodeCommand unpacks a consensus value produced by Encode.

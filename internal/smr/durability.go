@@ -42,6 +42,10 @@ type DurabilityOptions struct {
 	// FailpointLimit, when >0, injects a crash after that many WAL bytes
 	// (tests only; see wal.Options.FailpointLimit).
 	FailpointLimit int64
+	// SyncHook, when set, runs immediately before each WAL fsync (tests
+	// only; see wal.Options.SyncHook). Stalling it stalls durability, which
+	// must stall every dependent message and completion.
+	SyncHook func()
 }
 
 const defaultSnapshotEvery = 64
@@ -66,6 +70,16 @@ type durable struct {
 	// persisted caches the last journaled state per slot so unchanged
 	// steps append nothing.
 	persisted map[int]core.State
+	// buffered is the WAL index of the last record appended without an
+	// inline fsync; critical is the newest record that guards safety — a
+	// promise or vote change a peer may act on. Outbox entries that only
+	// carry messages depend on critical: a decide record is derivable from
+	// the quorum of already-durable accept records that produced it, so a
+	// decide broadcast need not wait for the local bookkeeping to hit disk.
+	// Entries that complete client calls (wakes) depend on buffered — an
+	// acknowledgement promises everything the step journaled is durable.
+	buffered uint64
+	critical uint64
 	// sinceSnap counts commands applied since the last snapshot.
 	sinceSnap int
 	snapIndex int // applied index of the newest snapshot
@@ -127,6 +141,7 @@ func (r *Replica) EnableDurability(opts DurabilityOptions) (RecoveryInfo, error)
 		SegmentBytes:   opts.SegmentBytes,
 		Policy:         opts.Policy,
 		FailpointLimit: opts.FailpointLimit,
+		SyncHook:       opts.SyncHook,
 	})
 	if err != nil {
 		return RecoveryInfo{}, fmt.Errorf("smr durability: %w", err)
@@ -239,6 +254,9 @@ func (r *Replica) EnableDurability(opts DurabilityOptions) (RecoveryInfo, error)
 	if r.applied > r.maxSeenApplied {
 		r.maxSeenApplied = r.applied
 	}
+	if r.applied > r.freeHint {
+		r.freeHint = r.applied
+	}
 	for slot := range r.log {
 		if slot < r.compactFloor {
 			delete(r.log, slot)
@@ -309,36 +327,69 @@ func (r *Replica) scheduleWalSyncLocked() {
 			r.mu.Unlock()
 			return
 		}
-		if err := r.dur.wal.Sync(); err != nil {
-			r.persistFailLocked(err)
-			r.mu.Unlock()
-			return
-		}
+		w := r.dur.wal
 		r.scheduleWalSyncLocked()
 		r.mu.Unlock()
+		// The fsync runs off the lock; a failure poisons the replica the
+		// same way an in-step persist failure does.
+		if err := w.Sync(); err != nil {
+			r.ioFail(err)
+		}
 	})
 }
 
 // persistFailLocked poisons the replica after a journaling failure: no
 // state transition may become externally visible without its WAL record,
-// so the only safe continuation is none.
+// so the only safe continuation is none. Waiters still registered are
+// released (Execute and WaitApplied map the closed channels to ErrClosed);
+// channels owned by queued wakeups are the outbox consumer's to fire.
 func (r *Replica) persistFailLocked(err error) {
 	if r.dur.err == nil {
 		r.dur.err = err
 	}
 	r.closed = true
+	for _, chs := range r.waiters {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}
+	r.waiters = make(map[int][]chan consensus.Value)
+	for _, chs := range r.appliedW {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}
+	r.appliedW = make(map[int][]chan struct{})
 }
 
-// appendEntryLocked journals one WAL entry; false poisons the replica.
-func (r *Replica) appendEntryLocked(e walEntry) bool {
+// appendEntryLocked journals one WAL entry; false poisons the replica. On
+// the outbox path the append is buffered — durability is the consumer's
+// job, via Commit, before any dependent message or wakeup escapes; critical
+// marks records whose loss could break safety (see the durable struct). The
+// legacy path keeps the inline (group-committed) fsync of the pre-overhaul
+// hot path.
+func (r *Replica) appendEntryLocked(e walEntry, critical bool) bool {
 	payload, err := json.Marshal(e)
 	if err != nil {
 		r.persistFailLocked(err)
 		return false
 	}
-	if _, err := r.dur.wal.Append(payload); err != nil {
+	if r.legacy {
+		//lint:allow iolock legacy baseline path: fsync under the replica lock is the point
+		if _, err := r.dur.wal.Append(payload); err != nil {
+			r.persistFailLocked(err)
+			return false
+		}
+		return true
+	}
+	idx, err := r.dur.wal.AppendBuffered(payload)
+	if err != nil {
 		r.persistFailLocked(err)
 		return false
+	}
+	r.dur.buffered = idx
+	if critical {
+		r.dur.critical = idx
 	}
 	return true
 }
@@ -359,10 +410,18 @@ func (r *Replica) persistSlotLocked(slot int) bool {
 		return true
 	}
 	st := node.Snapshot()
-	if prev, ok := r.dur.persisted[slot]; ok && prev == st {
+	prev, had := r.dur.persisted[slot]
+	if had && prev == st {
 		return true
 	}
-	if !r.appendEntryLocked(walEntry{Kind: walKindState, Slot: slot, State: &st}) {
+	// A record is sync-critical unless the only field that moved is Decided:
+	// promises and votes must hit disk before any peer sees a message built
+	// on them, while a decision is reconstructible from the quorum of durable
+	// accepts that produced it (the recovery path re-decides the same value).
+	masked := prev
+	masked.Decided = st.Decided
+	critical := !had || masked != st
+	if !r.appendEntryLocked(walEntry{Kind: walKindState, Slot: slot, State: &st}, critical) {
 		return false
 	}
 	r.dur.persisted[slot] = st
@@ -388,7 +447,7 @@ func (r *Replica) persistDecideLocked(slot int, v consensus.Value) bool {
 	if r.dur.err != nil {
 		return false
 	}
-	return r.appendEntryLocked(walEntry{Kind: walKindDecide, Slot: slot, Val: &v})
+	return r.appendEntryLocked(walEntry{Kind: walKindDecide, Slot: slot, Val: &v}, false)
 }
 
 // maybeSnapshotLocked checkpoints the applied state every snapEvery applied
@@ -442,6 +501,9 @@ func (r *Replica) writeSnapshotLocked() {
 		return
 	}
 	// The WAL must be on disk before the snapshot that references WalNext.
+	// Cold path (runs every snapEvery applied commands), so the in-lock
+	// fsync is tolerable; the hot path never comes through here.
+	//lint:allow iolock snapshot cut must be atomic with the state it captures
 	if err := r.dur.wal.Sync(); err != nil {
 		r.persistFailLocked(err)
 		return
@@ -470,15 +532,22 @@ func (r *Replica) Snapshot() error {
 
 // SyncWAL forces an fsync of the WAL (no-op without durability). The
 // SyncInterval policy calls this from a timer; hosts with their own clock
-// discipline may drive it directly.
+// discipline may drive it directly. The fsync itself runs off the replica
+// lock.
 func (r *Replica) SyncWAL() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.dur == nil {
+		r.mu.Unlock()
 		return nil
 	}
-	if err := r.dur.wal.Sync(); err != nil {
-		r.persistFailLocked(err)
+	if err := r.dur.err; err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	w := r.dur.wal
+	r.mu.Unlock()
+	if err := w.Sync(); err != nil {
+		r.ioFail(err)
 		return err
 	}
 	return nil
@@ -493,6 +562,7 @@ type ReplicaInfo struct {
 	WalSegments   int    `json:"walSegments,omitempty"`
 	WalBytes      int64  `json:"walBytes,omitempty"`
 	WalNextIndex  uint64 `json:"walNextIndex,omitempty"`
+	WalSyncs      uint64 `json:"walSyncs,omitempty"`
 	SnapshotIndex int    `json:"snapshotIndex,omitempty"`
 }
 
@@ -518,6 +588,7 @@ func (r *Replica) Info() ReplicaInfo {
 		info.WalSegments = st.Segments
 		info.WalBytes = st.Bytes
 		info.WalNextIndex = st.NextIndex
+		info.WalSyncs = st.Syncs
 		info.SnapshotIndex = r.dur.snapIndex
 	}
 	return info
@@ -529,8 +600,8 @@ func (i ReplicaInfo) String() string {
 	s := fmt.Sprintf("applied=%d open_slots=%d compact_floor=%d durable=%t",
 		i.Applied, i.OpenSlots, i.CompactFloor, i.Durable)
 	if i.Durable {
-		s += fmt.Sprintf(" wal_segments=%d wal_bytes=%d wal_next=%d snapshot_index=%d",
-			i.WalSegments, i.WalBytes, i.WalNextIndex, i.SnapshotIndex)
+		s += fmt.Sprintf(" wal_segments=%d wal_bytes=%d wal_next=%d wal_syncs=%d snapshot_index=%d",
+			i.WalSegments, i.WalBytes, i.WalNextIndex, i.WalSyncs, i.SnapshotIndex)
 	}
 	return s
 }

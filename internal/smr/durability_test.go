@@ -371,6 +371,7 @@ func TestDurablePromiseSurvivesRestart(t *testing.T) {
 
 	r1, tr1, _ := mk()
 	r1.Handle(1, slotMsg(t, 0, &core.OneA{Ballot: 5}))
+	r1.SyncIO() // sends are pipelined behind Handle; drain before inspecting
 	replies := tr1.oneBs(t, 0)
 	if len(replies) != 1 || replies[0].Ballot != 5 {
 		t.Fatalf("expected one 1B(5), got %+v", replies)
@@ -383,6 +384,7 @@ func TestDurablePromiseSurvivesRestart(t *testing.T) {
 		t.Fatalf("recovery info = %+v, want one restored open slot", info)
 	}
 	r2.Handle(0, slotMsg(t, 0, &core.OneA{Ballot: 3}))
+	r2.SyncIO()
 	for _, b := range tr2.oneBs(t, 0) {
 		if b.Ballot == 3 {
 			t.Fatal("recovered replica joined a ballot below its promise")
@@ -390,6 +392,7 @@ func TestDurablePromiseSurvivesRestart(t *testing.T) {
 	}
 	// The promise itself is still answered: a higher ballot gets a 1B.
 	r2.Handle(1, slotMsg(t, 0, &core.OneA{Ballot: 9}))
+	r2.SyncIO()
 	found := false
 	for _, b := range tr2.oneBs(t, 0) {
 		if b.Ballot == 9 {

@@ -1,0 +1,145 @@
+package smr_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// tapTransport wraps a Transport and, once armed, counts the slot-protocol
+// messages that actually leave the replica. Status gossip rides along on the
+// same transport but carries no new protocol state, so it is not counted.
+type tapTransport struct {
+	transport.Transport
+	armed     atomic.Bool
+	slotSends atomic.Int64
+}
+
+func (tt *tapTransport) Send(to consensus.ProcessID, msg consensus.Message) error {
+	if tt.armed.Load() {
+		if _, ok := msg.(*smr.SlotMessage); ok {
+			tt.slotSends.Add(1)
+		}
+	}
+	return tt.Transport.Send(to, msg)
+}
+
+// TestBlockedFsyncStallsSlotMessagesAndCompletions pins the core out-of-lock
+// invariant with a failpoint: when the proposer's fsync blocks, no protocol
+// message for the step leaves the process and the client call does not
+// complete — durability gates visibility, not just eventually but per step.
+// Releasing the fsync lets the pipeline drain and the command decide.
+func TestBlockedFsyncStallsSlotMessagesAndCompletions(t *testing.T) {
+	const n, f, e = 3, 1, 1
+	mesh := transport.NewMesh(n)
+	defer mesh.Close()
+
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock() // never leave the outbox consumer wedged on test failure
+
+	var armed atomic.Bool
+	var stallOnce sync.Once
+	hook := func() {
+		if !armed.Load() {
+			return
+		}
+		stallOnce.Do(func() { close(stalled) })
+		<-release
+	}
+
+	base := t.TempDir()
+	replicas := make([]*smr.Replica, n)
+	var tap *tapTransport
+	for i := 0; i < n; i++ {
+		cfg := consensus.Config{ID: consensus.ProcessID(i), N: n, F: f, E: e, Delta: 10}
+		r, err := smr.NewReplica(cfg, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := smr.DurabilityOptions{
+			Dir:    filepath.Join(base, fmt.Sprintf("r%d", i)),
+			Policy: wal.SyncAlways,
+		}
+		if i == 0 {
+			opts.SyncHook = hook
+		}
+		if _, err := r.EnableDurability(opts); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := mesh.Endpoint(cfg.ID, r.Handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			tap = &tapTransport{Transport: tr}
+			r.BindTransport(tap)
+		} else {
+			r.BindTransport(tr)
+		}
+		replicas[i] = r
+		r.Start()
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	if err := kv.Put(ctx, "warm", "up"); err != nil {
+		t.Fatalf("warm-up put: %v", err)
+	}
+	replicas[0].SyncIO() // drain the pipeline so the next fsync is ours
+
+	armed.Store(true)
+	tap.armed.Store(true)
+	done := make(chan error, 1)
+	go func() { done <- kv.Put(ctx, "k", "v") }()
+
+	select {
+	case <-stalled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("proposing never reached an fsync")
+	}
+	// The fsync for the propose record is now blocked. Give the pipeline
+	// ample opportunity to leak before asserting it did not.
+	time.Sleep(100 * time.Millisecond)
+	if got := tap.slotSends.Load(); got != 0 {
+		t.Fatalf("%d slot message(s) left the proposer before its WAL record was durable", got)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Put completed (err=%v) before its WAL record was durable", err)
+	default:
+	}
+
+	unblock()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("put after release: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("put did not complete after fsync was released")
+	}
+	if got := tap.slotSends.Load(); got == 0 {
+		t.Fatal("no slot messages sent even after fsync was released")
+	}
+	if v, ok := kv.Get("k"); !ok || v != "v" {
+		t.Fatalf("Get(k) = %q, %t after decided put", v, ok)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -230,13 +231,20 @@ func (t *TCP) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
+	// Per-connection scratch: the frame buffer and envelope are reused
+	// across iterations (json.RawMessage unmarshals by appending into the
+	// existing slice), so a busy link settles into zero steady-state
+	// allocations for framing.
+	var buf []byte
+	var f tcpFrame
 	for {
-		frame, err := readFrame(conn)
+		frame, err := readFrame(conn, &buf)
 		if err != nil {
 			return
 		}
 		t.stats.received(frameHeaderLen + len(frame))
-		var f tcpFrame
+		f.From = -1
+		f.Msg = f.Msg[:0]
 		if err := json.Unmarshal(frame, &f); err != nil {
 			return
 		}
@@ -269,16 +277,20 @@ func (t *TCP) knownPeer(p consensus.ProcessID) bool {
 // Send implements Transport: it encodes msg and enqueues the frame on the
 // peer's outbound queue, never blocking on network I/O. A full queue,
 // oversized frame, or closed transport drops the message with an advisory
-// error; the protocols retransmit on their timers.
+// error; the protocols retransmit on their timers. The frame envelope is
+// spliced by hand around the codec output — the message body is marshaled
+// exactly once on this path.
 func (t *TCP) Send(to consensus.ProcessID, msg consensus.Message) error {
 	body, err := t.codec.Encode(msg)
 	if err != nil {
 		return fmt.Errorf("tcp send: %w", err)
 	}
-	frame, err := json.Marshal(tcpFrame{From: int(t.self), Msg: body})
-	if err != nil {
-		return fmt.Errorf("tcp send: %w", err)
-	}
+	frame := make([]byte, 0, len(`{"from":,"msg":}`)+20+len(body))
+	frame = append(frame, `{"from":`...)
+	frame = strconv.AppendInt(frame, int64(t.self), 10)
+	frame = append(frame, `,"msg":`...)
+	frame = append(frame, body...)
+	frame = append(frame, '}')
 	if len(frame) > maxFrame {
 		t.stats.drop(DropOversize, to)
 		return fmt.Errorf("tcp send to %s: %d-byte frame: %w", to, len(frame), ErrOversize)
@@ -500,7 +512,10 @@ func (t *TCP) Close() error {
 	return err
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrame reads one length-prefixed frame into *scratch, growing it as
+// needed; the returned slice aliases *scratch and is valid until the next
+// call.
+func readFrame(r io.Reader, scratch *[]byte) ([]byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -509,7 +524,10 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if size > maxFrame {
 		return nil, fmt.Errorf("frame of %d bytes: %w", size, ErrOversize)
 	}
-	buf := make([]byte, size)
+	if uint32(cap(*scratch)) < size {
+		*scratch = make([]byte, size)
+	}
+	buf := (*scratch)[:size]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}

@@ -76,6 +76,10 @@ type Options struct {
 	// the limit is cut short mid-record — a torn write, as left by a real
 	// crash or power loss.
 	FailpointLimit int64
+	// SyncHook, when set, runs outside the WAL lock immediately before each
+	// group-commit fsync. Tests use it to stall or count syncs; production
+	// code leaves it nil.
+	SyncHook func()
 }
 
 // OpenInfo reports what Open found on disk.
@@ -103,6 +107,10 @@ type Stats struct {
 	Segments  int
 	Bytes     int64
 	NextIndex uint64
+	// Syncs counts group-commit fsyncs of the active segment. With many
+	// concurrent committers it grows slower than the record count — that
+	// ratio (fsyncs/op) is the F4b group-commit metric.
+	Syncs uint64
 }
 
 // WAL is a segmented append-only log. The first record has index 1; indexes
@@ -120,6 +128,14 @@ type WAL struct {
 	written int64 // total bytes written, for the failpoint
 	failed  error // sticky write error; the WAL is poisoned once set
 	closed  bool
+
+	// Group commit: one committer at a time becomes the sync leader, drops
+	// the lock, fsyncs, and publishes the result; everyone else waits on
+	// sc. durable is the highest index known to be on stable storage.
+	durable uint64
+	syncing bool
+	sc      *sync.Cond
+	syncs   uint64 // successful fsyncs of the active segment
 }
 
 // Open opens (or creates) the log in dir. A torn tail left by a crash
@@ -133,6 +149,7 @@ func Open(dir string, opts Options) (*WAL, OpenInfo, error) {
 		return nil, OpenInfo{}, fmt.Errorf("wal: %w", err)
 	}
 	w := &WAL{dir: dir, opts: opts, next: 1}
+	w.sc = sync.NewCond(&w.mu)
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, OpenInfo{}, err
@@ -165,6 +182,9 @@ func Open(dir string, opts Options) (*WAL, OpenInfo, error) {
 		}
 	}
 	info.NextIndex = w.next
+	// Everything recovered from disk predates this process; treat it as
+	// durable so the first Commit only pays for records appended since.
+	w.durable = w.next - 1
 	return w, info, nil
 }
 
@@ -219,14 +239,39 @@ func (w *WAL) adoptSegment(seg segmentInfo) (torn bool, err error) {
 }
 
 // Append adds one record and returns its index. Under SyncAlways the record
-// is on stable storage when Append returns; the other policies defer that
-// to Sync (host-driven) or the OS.
+// is on stable storage when Append returns — via the group-commit path, so
+// concurrent Append callers share one fsync; the other policies defer
+// durability to Sync (host-driven) or the OS.
 func (w *WAL) Append(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	idx, err := w.appendLocked(payload)
+	if err != nil {
+		return 0, err
+	}
+	if w.opts.Policy == SyncAlways {
+		if err := w.commitLocked(idx); err != nil {
+			return 0, err
+		}
+	}
+	return idx, nil
+}
+
+// AppendBuffered adds one record without waiting for durability, under any
+// policy. The caller must pass the returned index to Commit before acting
+// on the record's durability (the persist-before-flush invariant); hosts
+// that batch — the replica outbox — commit once for many buffered appends.
+func (w *WAL) AppendBuffered(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(payload)
+}
+
+// appendLocked writes one record to the active segment without syncing.
+func (w *WAL) appendLocked(payload []byte) (uint64, error) {
 	if len(payload) > MaxRecordBytes {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	if err := w.usableLocked(); err != nil {
 		return 0, err
 	}
@@ -240,28 +285,78 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 		return 0, err
 	}
 	w.next = idx + 1
-	if w.opts.Policy == SyncAlways {
-		if err := w.f.Sync(); err != nil {
-			w.failed = err
-			return 0, err
-		}
-	}
 	return idx, nil
 }
 
+// Commit blocks until every record with index ≤ index is on stable storage.
+// Concurrent committers elect a leader: the first one in fsyncs once for
+// everything written so far while the rest wait on the result — one
+// fdatasync amortized over the whole group. Returns immediately when the
+// range is already durable.
+func (w *WAL) Commit(index uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.usableLocked(); err != nil {
+		return err
+	}
+	return w.commitLocked(index)
+}
+
+// commitLocked is the group-commit core. It may drop and retake w.mu (the
+// leader fsyncs outside the lock); callers must re-validate any cached
+// state afterwards.
+func (w *WAL) commitLocked(index uint64) error {
+	for {
+		if w.failed != nil {
+			return w.failed
+		}
+		if w.closed {
+			return fmt.Errorf("wal: closed")
+		}
+		if w.durable >= index {
+			return nil
+		}
+		if w.syncing {
+			// A leader is in flight; its sync may or may not cover index
+			// (records appended after it captured its target miss the
+			// window). The loop re-checks after the broadcast.
+			w.sc.Wait()
+			continue
+		}
+		// Become the sync leader: everything written so far rides along.
+		w.syncing = true
+		target := w.next - 1
+		f := w.f
+		hook := w.opts.SyncHook
+		w.mu.Unlock()
+		if hook != nil {
+			hook()
+		}
+		err := f.Sync()
+		w.mu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.failed = err
+		} else {
+			w.syncs++
+			if target > w.durable {
+				w.durable = target
+			}
+		}
+		w.sc.Broadcast()
+	}
+}
+
 // Sync flushes the active segment to stable storage. Hosts using
-// SyncInterval call this from their timer.
+// SyncInterval call this from their timer. It rides the group-commit path,
+// so a Sync that races appenders' commits costs no extra fsync.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.usableLocked(); err != nil {
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
-		w.failed = err
-		return err
-	}
-	return nil
+	return w.commitLocked(w.next - 1)
 }
 
 // NextIndex returns the index the next appended record will get. Snapshots
@@ -276,7 +371,7 @@ func (w *WAL) NextIndex() uint64 {
 func (w *WAL) Stats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	s := Stats{Segments: len(w.segs), NextIndex: w.next}
+	s := Stats{Segments: len(w.segs), NextIndex: w.next, Syncs: w.syncs}
 	for _, seg := range w.segs {
 		if fi, err := os.Stat(seg.path); err == nil {
 			s.Bytes += fi.Size()
@@ -366,7 +461,9 @@ func (w *WAL) Close() error {
 	if w.closed {
 		return nil
 	}
+	w.awaitSyncLocked()
 	w.closed = true
+	w.sc.Broadcast() // release committers queued behind the closed flag
 	if w.f == nil {
 		return nil
 	}
@@ -393,18 +490,34 @@ func (w *WAL) usableLocked() error {
 }
 
 // rotateLocked seals the active segment (sync + close) and starts a new one
-// at the current next index.
+// at the current next index. It first waits out any in-flight group-commit
+// leader, which fsyncs the captured file handle outside the lock.
 func (w *WAL) rotateLocked() error {
+	w.awaitSyncLocked()
+	if err := w.usableLocked(); err != nil {
+		return err
+	}
 	if err := w.f.Sync(); err != nil {
 		w.failed = err
 		return err
 	}
+	w.syncs++
+	w.durable = w.next - 1 // the sealed segment holds everything written
 	if err := w.f.Close(); err != nil {
 		w.failed = err
 		return err
 	}
 	w.f = nil
 	return w.newSegmentLocked(w.next)
+}
+
+// awaitSyncLocked blocks until no group-commit leader is mid-fsync. Callers
+// that close or replace the active file handle (rotation, Close) must wait
+// it out first.
+func (w *WAL) awaitSyncLocked() {
+	for w.syncing {
+		w.sc.Wait()
+	}
 }
 
 // newSegmentLocked creates and adopts a fresh segment starting at first.
