@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench microbench report examples vet lint cover fuzz crash clean
+.PHONY: all build test test-short race bench microbench report examples vet lint cover fuzz crash chaos chaos-short clean
 
 all: build vet lint test
 
@@ -64,6 +64,21 @@ fuzz:
 # recovery — see docs/DURABILITY.md.
 crash:
 	$(GO) test -run '^TestCrash' -v -timeout 300s ./internal/wal/... ./internal/smr/...
+
+# Whole-stack chaos campaign: SEEDS consecutive seeded scenarios (live
+# durable cluster + nemesis + linearizability check), starting at SEED.
+# Rerun a reported failure with `make chaos SEED=N SEEDS=1` — see
+# docs/TESTING.md.
+SEED ?= 1
+SEEDS ?= 20
+chaos:
+	$(GO) test -tags chaos ./internal/chaos -run TestChaosFull -v \
+		-chaos.seed=$(SEED) -chaos.seeds=$(SEEDS) -timeout 1200s
+
+# Shrunk chaos campaign for per-push CI: fewer seeds, smaller scenarios.
+chaos-short:
+	$(GO) test -tags chaos ./internal/chaos -run TestChaosFull \
+		-chaos.seed=$(SEED) -chaos.seeds=5 -chaos.short -timeout 600s
 
 clean:
 	rm -rf out

@@ -18,6 +18,7 @@ func Experiments(soakRuns int) map[string]func() *Result {
 		"T4":  LowerBounds,
 		"T5":  func() *Result { return SoakTable(soakRuns) },
 		"T6":  ModelCheck,
+		"T7":  ChaosSoak,
 		"F1":  LatencyVsCrashes,
 		"F2":  LatencyVsConflicts,
 		"F3":  WAN,

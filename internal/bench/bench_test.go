@@ -60,6 +60,19 @@ func TestModelCheckAllExpected(t *testing.T) {
 	assertNoUnexpected(t, ModelCheck())
 }
 
+func TestChaosSoakAllExpected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("T7 boots three live durable clusters")
+	}
+	r := ChaosSoak()
+	assertNoUnexpected(t, r)
+	for _, row := range r.Rows {
+		if strings.Contains(row[len(row)-1], "error") {
+			t.Errorf("T7: harness error in row %v", row)
+		}
+	}
+}
+
 // assertNoUnexpected fails on any cell flagged "✗?!" (observed ≠ expected).
 func assertNoUnexpected(t *testing.T, r *Result) {
 	t.Helper()

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// ChaosSoak regenerates T7: a handful of small whole-stack chaos scenarios
+// (live durable cluster + nemesis + linearizability check) so the report
+// exercises the end-to-end harness, not just the simulator. The full-size
+// campaign lives in `make chaos`; these rows are sized for report latency.
+func ChaosSoak() *Result {
+	r := &Result{
+		ID:     "T7",
+		Title:  "whole-stack chaos soak (live durable cluster, nemesis, linearizability check)",
+		Header: []string{"seed", "clients", "ops", "ambiguous", "fault drops", "converge", "check", "linearizable"},
+	}
+	o := chaos.DefaultOptions()
+	o.OpsPerClient = 25
+	o.Steps = 3
+	o.Scale = 100 * time.Millisecond
+	for seed := int64(1); seed <= 3; seed++ {
+		dir, err := os.MkdirTemp("", "chaossoak")
+		if err != nil {
+			r.AddNote("seed %d: tempdir: %v", seed, err)
+			continue
+		}
+		res, err := chaos.RunScenario(dir, seed, o)
+		os.RemoveAll(dir)
+		if err != nil {
+			r.AddRow(seed, o.Clients, "-", "-", "-", "-", "-", fmt.Sprintf("harness error: %v", err))
+			continue
+		}
+		r.AddRow(seed, o.Clients, res.Ops, res.Ambiguous, res.FaultDrops,
+			res.Converge.Round(time.Millisecond), res.CheckDuration.Round(time.Microsecond),
+			verdict(res.Check.Ok && !res.Check.TimedOut, true))
+	}
+	r.AddNote("Each seed boots a real 3-replica durable cluster (fsync=always), runs %d clients × %d ops through partitions, a crash-restart, and message loss, then checks the merged history for linearizability. Reproduce any seed with: go test -tags chaos ./internal/chaos -run TestChaosFull -chaos.seed=N -chaos.seeds=1", o.Clients, o.OpsPerClient)
+	return r
+}

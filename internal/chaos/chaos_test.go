@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// smokeOptions is a deliberately small scenario so the untagged suite
+// stays fast: 2 clients × 12 ops, 2 nemesis steps at a short scale. The
+// tagged full suite (full_test.go) runs the real DefaultOptions.
+func smokeOptions() Options {
+	o := DefaultOptions()
+	o.Clients = 2
+	o.OpsPerClient = 12
+	o.Keys = 2
+	o.Steps = 2
+	o.Scale = 60 * time.Millisecond
+	return o
+}
+
+// TestChaosSmoke runs one small seeded scenario end to end: faults fire,
+// the cluster reconverges, and the history checks linearizable.
+func TestChaosSmoke(t *testing.T) {
+	res, err := RunScenario(t.TempDir(), 1, smokeOptions())
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if !res.Check.Ok {
+		t.Fatalf("history not linearizable (key %q); repro: %s", res.Check.Key, ReproLine(res.Seed))
+	}
+	if res.Check.TimedOut {
+		t.Fatalf("checker timed out; repro: %s", ReproLine(res.Seed))
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if len(res.Plan) != 2 {
+		t.Fatalf("plan has %d steps, want 2", len(res.Plan))
+	}
+	t.Logf("seed=%d ops=%d ambiguous=%d faultDrops=%d converge=%v check=%v",
+		res.Seed, res.Ops, res.Ambiguous, res.FaultDrops, res.Converge, res.CheckDuration)
+}
+
+// TestChaosDeterminism pins the reproducibility contract: the nemesis plan
+// and every client script are pure functions of the seed — same seed, same
+// schedule, same workload; a different seed differs.
+func TestChaosDeterminism(t *testing.T) {
+	o := DefaultOptions()
+	p1, p2 := Plan(42, o), Plan(42, o)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", p1, p2)
+	}
+	s1, s2 := Scripts(42, o), Scripts(42, o)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different client scripts")
+	}
+	if reflect.DeepEqual(p1, Plan(43, o)) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if reflect.DeepEqual(s1, Scripts(43, o)) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+	// The acceptance triad leads every plan: partition, crash, loss.
+	if p1[0].Kind != StepPartitionHalves || p1[1].Kind != StepCrashRestart || p1[2].Kind != StepLoss {
+		t.Fatalf("plan does not open with partition/crash/loss: %v", p1[:3])
+	}
+}
+
+// TestChaosTeeth proves the harness can fail: with the deliberate
+// stale-read fault injected on replica 0, the checker must reject the
+// history. A green run here would mean the whole suite is vacuous.
+func TestChaosTeeth(t *testing.T) {
+	o := DefaultOptions()
+	o.Clients = 1
+	o.OpsPerClient = 25
+	o.Keys = 1
+	o.Steps = 0 // no nemesis: the injected fault alone must be caught
+	o.OpGap = 0 // nothing to pace against
+	o.StaleReads = true
+	res, err := RunScenario(t.TempDir(), 7, o)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if res.Check.Ok {
+		t.Fatal("checker accepted a history produced by a stale-read-faulted replica")
+	}
+	if res.Check.Key != "k0" {
+		t.Fatalf("violation attributed to key %q, want k0", res.Check.Key)
+	}
+	t.Logf("teeth ok: checker rejected key %q after %v", res.Check.Key, res.CheckDuration)
+}

@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+func pid(i int) consensus.ProcessID { return consensus.ProcessID(i) }
+
+// rebind is a swappable transport handler: mesh endpoints attach exactly
+// once, so a restarted replica is swapped in behind the same endpoint
+// (the pattern the durability tests established).
+type rebind struct {
+	mu sync.Mutex
+	h  transport.Handler
+}
+
+func (rb *rebind) handle(from consensus.ProcessID, msg consensus.Message) {
+	rb.mu.Lock()
+	h := rb.h
+	rb.mu.Unlock()
+	if h != nil {
+		h(from, msg)
+	}
+}
+
+func (rb *rebind) set(h transport.Handler) {
+	rb.mu.Lock()
+	rb.h = h
+	rb.mu.Unlock()
+}
+
+// cluster is a live durable SMR cluster on an in-process mesh, built for
+// being abused: replicas can be crash-killed and rebooted in place from
+// their data directories, fsyncs can be stalled, and the mesh carries a
+// fault injector.
+type cluster struct {
+	n, f, e int
+	mesh    *transport.Mesh
+	dirs    []string
+	rebinds []*rebind
+	trs     []transport.Transport
+
+	// fsyncStall, in nanoseconds, is added to every WAL fsync on every
+	// replica while non-zero — the heal-able fsync failpoint.
+	fsyncStall atomic.Int64
+
+	mu       sync.Mutex
+	replicas []*smr.Replica
+	down     map[int]bool
+}
+
+func newCluster(dir string, n, f, e int) (*cluster, error) {
+	c := &cluster{
+		n: n, f: f, e: e,
+		mesh:     transport.NewMesh(n),
+		dirs:     make([]string, n),
+		rebinds:  make([]*rebind, n),
+		trs:      make([]transport.Transport, n),
+		replicas: make([]*smr.Replica, n),
+		down:     make(map[int]bool),
+	}
+	for i := 0; i < n; i++ {
+		c.dirs[i] = filepath.Join(dir, fmt.Sprintf("r%d", i))
+		c.rebinds[i] = &rebind{}
+		tr, err := c.mesh.Endpoint(consensus.ProcessID(i), c.rebinds[i].handle)
+		if err != nil {
+			c.mesh.Close()
+			return nil, err
+		}
+		c.trs[i] = tr
+	}
+	for i := 0; i < n; i++ {
+		if err := c.boot(i); err != nil {
+			c.close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// boot builds replica i over its data directory (running recovery when
+// prior state exists) and swaps it into the mesh.
+func (c *cluster) boot(i int) error {
+	cfg := consensus.Config{ID: consensus.ProcessID(i), N: c.n, F: c.f, E: c.e, Delta: 10}
+	r, err := smr.NewReplica(cfg, time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if _, err := r.EnableDurability(smr.DurabilityOptions{
+		Dir:           c.dirs[i],
+		Policy:        wal.SyncAlways,
+		SnapshotEvery: 64,
+		SyncHook: func() {
+			if d := c.fsyncStall.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+		},
+	}); err != nil {
+		return err
+	}
+	r.BindTransport(c.trs[i])
+	c.rebinds[i].set(r.Handle)
+	c.mu.Lock()
+	c.replicas[i] = r
+	delete(c.down, i)
+	c.mu.Unlock()
+	r.Start()
+	return nil
+}
+
+// replica returns the live replica currently serving index i. Clients
+// fetch it per operation, so a crash-restart swaps under them like a
+// reconnect would.
+func (c *cluster) replica(i int) *smr.Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replicas[i]
+}
+
+// kill crash-stops replica i: WAL aborted without the final sync, no
+// further message or acknowledgement escapes (see smr.Replica.Kill).
+func (c *cluster) kill(i int) {
+	c.mu.Lock()
+	r := c.replicas[i]
+	c.down[i] = true
+	c.mu.Unlock()
+	c.rebinds[i].set(nil)
+	if r != nil {
+		_ = r.Kill()
+	}
+}
+
+// restart reboots a killed replica from its data directory through the
+// real recovery path.
+func (c *cluster) restart(i int) error { return c.boot(i) }
+
+// ensureUp restarts every replica currently down.
+func (c *cluster) ensureUp() error {
+	c.mu.Lock()
+	var downs []int
+	for i := range c.down {
+		downs = append(downs, i)
+	}
+	c.mu.Unlock()
+	for _, i := range downs {
+		if err := c.restart(i); err != nil {
+			return fmt.Errorf("chaos: restart replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// converged reports whether all replicas agree: equal applied indexes and
+// identical values for every key in keys.
+func (c *cluster) converged(keys []string) bool {
+	c.mu.Lock()
+	replicas := make([]*smr.Replica, len(c.replicas))
+	copy(replicas, c.replicas)
+	c.mu.Unlock()
+	applied := -1
+	for _, r := range replicas {
+		a := r.Applied()
+		if applied == -1 {
+			applied = a
+		} else if a != applied {
+			return false
+		}
+	}
+	for _, k := range keys {
+		v0, ok0 := replicas[0].Get(k)
+		for _, r := range replicas[1:] {
+			if v, ok := r.Get(k); ok != ok0 || v != v0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// waitConverged polls until converged holds twice in a row (agreement
+// that is also stable) or the deadline passes.
+func (c *cluster) waitConverged(keys []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	stable := 0
+	for time.Now().Before(deadline) {
+		if c.converged(keys) {
+			stable++
+			if stable >= 2 {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	states := make([]string, len(c.replicas))
+	for i, r := range c.replicas {
+		states[i] = fmt.Sprintf("r%d applied=%d", i, r.Applied())
+	}
+	return fmt.Errorf("chaos: cluster did not reconverge within %v (%v)", timeout, states)
+}
+
+// close shuts everything down (gracefully — chaos is over).
+func (c *cluster) close() {
+	c.mu.Lock()
+	replicas := make([]*smr.Replica, len(c.replicas))
+	copy(replicas, c.replicas)
+	c.mu.Unlock()
+	for _, r := range replicas {
+		if r != nil {
+			_ = r.Close()
+		}
+	}
+	c.mesh.Close()
+}

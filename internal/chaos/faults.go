@@ -1,0 +1,129 @@
+// Package chaos is a deterministic, seed-driven nemesis harness over the
+// real internal/smr stack: it runs concurrent clients against a live
+// durable cluster while injecting partitions, message loss / duplication /
+// delay, fsync stalls, and crash-restarts through the replicas' real
+// recovery path — then verifies the merged client history with
+// internal/linear and that the cluster reconverges after the faults heal.
+//
+// Everything the nemesis and the workload will do is derived up front from
+// a single seed (the fault plan, every client's op script), so a failing
+// run is reproducible from its seed alone: same seed, same schedule, same
+// faults, same verdict. Per-message probabilistic sampling (loss under a
+// lossy-link step) necessarily depends on the live goroutine interleaving,
+// but which faults are active when — the schedule — does not.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/transport"
+)
+
+// faults is the live fault state consulted by the mesh on every send. The
+// nemesis mutates it step by step; heal() clears everything. One instance
+// is installed per cluster via transport.Mesh.SetFault.
+type faults struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	blocked map[[2]consensus.ProcessID]bool
+	loss    float64
+	dup     float64
+	delayP  float64
+	delay   time.Duration
+}
+
+func newFaults(seed int64) *faults {
+	return &faults{
+		rng:     rand.New(rand.NewSource(seed)),
+		blocked: make(map[[2]consensus.ProcessID]bool),
+	}
+}
+
+// verdict is the transport.FaultFunc for this fault set.
+func (f *faults) verdict(from, to consensus.ProcessID) transport.FaultVerdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.blocked[[2]consensus.ProcessID{from, to}] {
+		return transport.FaultVerdict{Drop: true}
+	}
+	if f.loss > 0 && f.rng.Float64() < f.loss {
+		return transport.FaultVerdict{Drop: true}
+	}
+	var v transport.FaultVerdict
+	if f.dup > 0 && f.rng.Float64() < f.dup {
+		v.Duplicate = true
+	}
+	if f.delayP > 0 && f.rng.Float64() < f.delayP {
+		v.Delay = f.delay
+	}
+	return v
+}
+
+// blockPair cuts the directed link a→b.
+func (f *faults) blockPair(a, b consensus.ProcessID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blocked[[2]consensus.ProcessID{a, b}] = true
+}
+
+// partition splits the cluster into groups and cuts every link that
+// crosses a group boundary, both directions.
+func (f *faults) partition(groups ...[]int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	in := make(map[int]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			in[id] = g
+		}
+	}
+	for a, ga := range in {
+		for b, gb := range in {
+			if a != b && ga != gb {
+				f.blocked[[2]consensus.ProcessID{consensus.ProcessID(a), consensus.ProcessID(b)}] = true
+			}
+		}
+	}
+}
+
+// isolate cuts every link to and from replica i in an n-replica cluster.
+func (f *faults) isolate(i, n int) {
+	for p := 0; p < n; p++ {
+		if p != i {
+			f.blockPair(consensus.ProcessID(i), consensus.ProcessID(p))
+			f.blockPair(consensus.ProcessID(p), consensus.ProcessID(i))
+		}
+	}
+}
+
+// setLoss drops each non-blocked message with probability p.
+func (f *faults) setLoss(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loss = p
+}
+
+// setDup duplicates each delivered message with probability p.
+func (f *faults) setDup(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dup = p
+}
+
+// setDelay holds each delivered message for d with probability p.
+func (f *faults) setDelay(p float64, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delayP, f.delay = p, d
+}
+
+// heal clears every active fault (blocked pairs, loss, dup, delay).
+func (f *faults) heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blocked = make(map[[2]consensus.ProcessID]bool)
+	f.loss, f.dup, f.delayP, f.delay = 0, 0, 0, 0
+}

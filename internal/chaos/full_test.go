@@ -1,0 +1,50 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+)
+
+// The full suite is opt-in (go test -tags chaos, or `make chaos`): it runs
+// many multi-second scenarios and belongs in scheduled CI, not every push.
+//
+// Reproducing a failure: every failing seed is reported with a
+// copy-pasteable command line; -chaos.seed reruns exactly that scenario.
+var (
+	flagSeeds = flag.Int64("chaos.seeds", 20, "number of consecutive seeds to run, starting at -chaos.seed")
+	flagSeed  = flag.Int64("chaos.seed", 1, "first seed (with -chaos.seeds=1, reruns a single scenario)")
+	flagShort = flag.Bool("chaos.short", false, "shrink each scenario (fewer ops/steps) for quick CI runs")
+)
+
+// TestChaosFull runs -chaos.seeds seeded scenarios at full size, each as a
+// subtest named by its seed so -run 'TestChaosFull/seed=N' also works.
+func TestChaosFull(t *testing.T) {
+	o := DefaultOptions()
+	if *flagShort {
+		o.Clients = 2
+		o.OpsPerClient = 20
+		o.Steps = 3
+	}
+	for seed := *flagSeed; seed < *flagSeed+*flagSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res, err := RunScenario(t.TempDir(), seed, o)
+			if err != nil {
+				t.Fatalf("scenario failed: %v\nrepro: %s", err, ReproLine(seed))
+			}
+			if res.Check.TimedOut {
+				t.Fatalf("checker timed out after %v (%d ops)\nrepro: %s",
+					res.CheckDuration, res.Ops, ReproLine(seed))
+			}
+			if !res.Check.Ok {
+				t.Fatalf("history NOT linearizable (key %q, %d ops visited %d states)\nrepro: %s",
+					res.Check.Key, res.Check.Ops, res.Check.Visited, ReproLine(seed))
+			}
+			t.Logf("ops=%d ambiguous=%d faultDrops=%d converge=%v check=%v plan=%v",
+				res.Ops, res.Ambiguous, res.FaultDrops, res.Converge, res.CheckDuration, res.Plan)
+		})
+	}
+}

@@ -1,0 +1,274 @@
+package linear
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Result is the verdict of a linearizability check.
+type Result struct {
+	// Ok reports whether the whole history is linearizable.
+	Ok bool
+	// TimedOut reports that the search gave up before finding an answer;
+	// when set, Ok is false but the history was NOT proven broken.
+	TimedOut bool
+	// Key is the first key whose subhistory failed (or timed out).
+	Key string
+	// Ops counts operations in the failing key's subhistory (0 when Ok).
+	Ops int
+	// Visited counts distinct (linearized-set, state) pairs explored
+	// across all keys — a rough measure of search effort.
+	Visited int64
+}
+
+// Check reports whether h is linearizable with respect to a key-value
+// register: Put sets the value, Delete removes it, Get observes
+// (found, value). Keys are independent, so the history is partitioned per
+// key and each subhistory is checked on its own (Herlihy & Wing's
+// locality theorem makes this exact, not an approximation).
+func Check(h History) Result { return CheckTimeout(h, 0) }
+
+// CheckTimeout is Check with a budget; timeout <= 0 means no limit. On
+// expiry the result has TimedOut set: the history is unverified, not
+// refuted.
+func CheckTimeout(h History, timeout time.Duration) Result {
+	var kill atomic.Bool
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() { kill.Store(true) })
+		defer t.Stop()
+	}
+
+	byKey := make(map[string][]Op)
+	for _, op := range h {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	// Deterministic key order, largest subhistory first: the expensive key
+	// fails (or times out) before effort is spent on trivial ones.
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(byKey[keys[i]]) != len(byKey[keys[j]]) {
+			return len(byKey[keys[i]]) > len(byKey[keys[j]])
+		}
+		return keys[i] < keys[j]
+	})
+
+	res := Result{Ok: true}
+	for _, k := range keys {
+		ok, visited := checkKey(byKey[k], &kill)
+		res.Visited += visited
+		if !ok {
+			res.Ok = false
+			res.Key = k
+			res.Ops = len(byKey[k])
+			res.TimedOut = kill.Load()
+			return res
+		}
+	}
+	return res
+}
+
+// regState is the sequential specification's state for one key.
+type regState struct {
+	present bool
+	val     string
+}
+
+// step applies op to st, reporting whether the op is legal in that state.
+func step(st regState, op Op) (regState, bool) {
+	switch op.Kind {
+	case KindPut:
+		return regState{present: true, val: op.Val}, true
+	case KindDelete:
+		return regState{}, true
+	default: // KindGet
+		if op.Found != st.present {
+			return st, false
+		}
+		if st.present && op.Val != st.val {
+			return st, false
+		}
+		return st, true
+	}
+}
+
+// entry is one end of an operation's interval in the doubly linked event
+// list. A call entry has match set to its return entry; a return entry has
+// match == nil. The list is ordered by time; lifting a linearized
+// operation removes both of its entries, unlifting restores them.
+type entry struct {
+	op         int // index into the subhistory
+	time       int64
+	match      *entry // call → its return; nil on return entries
+	prev, next *entry
+}
+
+func (e *entry) lift() {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	m := e.match
+	m.prev.next = m.next
+	if m.next != nil {
+		m.next.prev = m.prev
+	}
+}
+
+func (e *entry) unlift() {
+	m := e.match
+	m.prev.next = m
+	if m.next != nil {
+		m.next.prev = m
+	}
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// makeEntries builds the event list for ops: a call and a return entry per
+// operation, sorted by timestamp. Recorder timestamps are unique except
+// for ambiguous returns at InfTime, whose mutual order is irrelevant (no
+// call follows them). Ties between a call and a return are broken return
+// first, the conservative choice: it treats the two ops as ordered rather
+// than concurrent, never admitting an order the real time forbids.
+func makeEntries(ops []Op) *entry {
+	evs := make([]entry, 0, 2*len(ops))
+	for i, op := range ops {
+		evs = append(evs,
+			entry{op: i, time: op.Invoke},
+			entry{op: i, time: op.Return})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].time != evs[j].time {
+			return evs[i].time < evs[j].time
+		}
+		// Equal times: return entries (match still nil here) first.
+		return !isCall(&evs[i], ops) && isCall(&evs[j], ops)
+	})
+	head := &entry{}
+	prev := head
+	calls := make(map[int]*entry, len(ops))
+	for i := range evs {
+		e := &evs[i]
+		prev.next = e
+		e.prev = prev
+		prev = e
+		if isCall(e, ops) {
+			calls[e.op] = e
+		} else {
+			calls[e.op].match = e
+		}
+	}
+	return head
+}
+
+func isCall(e *entry, ops []Op) bool { return e.time == ops[e.op].Invoke }
+
+// cacheEntry is one memoized search configuration.
+type cacheEntry struct {
+	linearized []uint64
+	state      regState
+}
+
+func cacheKey(lin []uint64, st regState) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range lin {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	if st.present {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	h.Write([]byte(st.val))
+	return h.Sum64()
+}
+
+func bitsEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// frame is one linearization decision on the search stack.
+type frame struct {
+	e         *entry
+	prevState regState
+}
+
+// checkKey runs the Wing & Gong search on one key's subhistory: repeatedly
+// try to linearize some operation whose call is minimal in the remaining
+// event list, memoizing visited (linearized-set, state) configurations,
+// and backtrack when a return entry is reached with no linearizable call
+// before it. Returns (linearizable, configurations visited). kill aborts
+// the search; the caller reports the abort as a timeout.
+func checkKey(ops []Op, kill *atomic.Bool) (bool, int64) {
+	n := len(ops)
+	if n == 0 {
+		return true, 0
+	}
+	head := makeEntries(ops)
+	linearized := make([]uint64, (n+63)/64)
+	cache := make(map[uint64][]cacheEntry)
+	var stack []frame
+	var state regState
+	var visited int64
+
+	e := head.next
+	for head.next != nil {
+		if kill != nil && kill.Load() {
+			return false, visited
+		}
+		if e.match != nil {
+			// Call entry: try to linearize ops[e.op] here.
+			next, legal := step(state, ops[e.op])
+			if legal {
+				linearized[e.op/64] |= 1 << (e.op % 64)
+				key := cacheKey(linearized, next)
+				fresh := true
+				for _, ce := range cache[key] {
+					if ce.state == next && bitsEqual(ce.linearized, linearized) {
+						fresh = false
+						break
+					}
+				}
+				if fresh {
+					visited++
+					cache[key] = append(cache[key], cacheEntry{
+						linearized: append([]uint64(nil), linearized...),
+						state:      next,
+					})
+					stack = append(stack, frame{e: e, prevState: state})
+					state = next
+					e.lift()
+					e = head.next
+					continue
+				}
+				linearized[e.op/64] &^= 1 << (e.op % 64)
+			}
+			e = e.next
+			continue
+		}
+		// Return entry: every op whose call precedes this return has been
+		// tried. Backtrack.
+		if len(stack) == 0 {
+			return false, visited
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		state = f.prevState
+		f.e.unlift()
+		linearized[f.e.op/64] &^= 1 << (f.e.op % 64)
+		e = f.e.next
+	}
+	return true, visited
+}

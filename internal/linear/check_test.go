@@ -1,0 +1,299 @@
+package linear
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// opb builds histories with explicit timestamps, for hand-built cases.
+func put(c int, key, val string, inv, ret int64) Op {
+	return Op{Client: c, Kind: KindPut, Key: key, Val: val, Invoke: inv, Return: ret}
+}
+
+func get(c int, key, val string, found bool, inv, ret int64) Op {
+	return Op{Client: c, Kind: KindGet, Key: key, Val: val, Found: found, Invoke: inv, Return: ret}
+}
+
+func del(c int, key string, inv, ret int64) Op {
+	return Op{Client: c, Kind: KindDelete, Key: key, Invoke: inv, Return: ret}
+}
+
+func amb(op Op) Op {
+	op.Return = InfTime
+	op.Outcome = OutcomeAmbiguous
+	return op
+}
+
+func TestCheckLinearizable(t *testing.T) {
+	cases := []struct {
+		name string
+		h    History
+	}{
+		{"empty", History{}},
+		{"sequential", History{
+			put(0, "x", "1", 1, 2),
+			get(0, "x", "1", true, 3, 4),
+			put(0, "x", "2", 5, 6),
+			get(0, "x", "2", true, 7, 8),
+		}},
+		{"miss before first write", History{
+			get(0, "x", "", false, 1, 2),
+			put(0, "x", "1", 3, 4),
+		}},
+		{"delete then miss", History{
+			put(0, "x", "1", 1, 2),
+			del(0, "x", 3, 4),
+			get(0, "x", "", false, 5, 6),
+		}},
+		// Two concurrent puts: a reader may see either order.
+		{"concurrent puts read second", History{
+			put(0, "x", "1", 1, 5),
+			put(1, "x", "2", 2, 4),
+			get(2, "x", "1", true, 6, 7),
+		}},
+		// Read overlapping a put may see old or new value; two overlapping
+		// readers may even disagree on the order.
+		{"read during write sees old", History{
+			put(0, "x", "1", 1, 2),
+			put(0, "x", "2", 3, 8),
+			get(1, "x", "1", true, 4, 5),
+		}},
+		{"read during write sees new", History{
+			put(0, "x", "1", 1, 2),
+			put(0, "x", "2", 3, 8),
+			get(1, "x", "2", true, 4, 5),
+		}},
+		// Ambiguous put that evidently applied: the read proves it.
+		{"ambiguous put applied", History{
+			put(0, "x", "1", 1, 2),
+			amb(put(1, "x", "2", 3, 0)),
+			get(2, "x", "2", true, 10, 11),
+		}},
+		// Ambiguous put that never applied: linearized after everything.
+		{"ambiguous put not applied", History{
+			put(0, "x", "1", 1, 2),
+			amb(put(1, "x", "2", 3, 0)),
+			get(2, "x", "1", true, 10, 11),
+		}},
+		// Independent keys are checked independently.
+		{"multi-key", History{
+			put(0, "x", "1", 1, 4),
+			put(1, "y", "9", 2, 3),
+			get(0, "y", "9", true, 5, 6),
+			get(1, "x", "1", true, 7, 8),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if res := Check(tc.h); !res.Ok {
+				t.Fatalf("Check = %+v, want Ok for history:\n%v", res, tc.h)
+			}
+		})
+	}
+}
+
+func TestCheckNonLinearizable(t *testing.T) {
+	cases := []struct {
+		name string
+		h    History
+	}{
+		// The classic stale read: both writes acknowledged in order, then
+		// a later read observes the overwritten value.
+		{"stale read", History{
+			put(0, "x", "1", 1, 2),
+			put(0, "x", "2", 3, 4),
+			get(1, "x", "1", true, 5, 6),
+		}},
+		// Lost update: an acknowledged write is never visible.
+		{"lost update", History{
+			put(0, "x", "1", 1, 2),
+			get(1, "x", "", false, 3, 4),
+		}},
+		// Value from nowhere.
+		{"phantom value", History{
+			put(0, "x", "1", 1, 2),
+			get(1, "x", "9", true, 3, 4),
+		}},
+		// Resurrection after delete.
+		{"read after delete", History{
+			put(0, "x", "1", 1, 2),
+			del(0, "x", 3, 4),
+			get(1, "x", "1", true, 5, 6),
+		}},
+		// Two sequential readers disagree on the order of two finished
+		// writes: get=2 then get=1 with no intervening write.
+		{"order flip", History{
+			put(0, "x", "1", 1, 3),
+			put(1, "x", "2", 2, 4),
+			get(2, "x", "2", true, 5, 6),
+			get(2, "x", "1", true, 7, 8),
+		}},
+		// An ambiguous write cannot explain a value read before its
+		// invocation.
+		{"ambiguous too late", History{
+			amb(put(0, "x", "2", 5, 0)),
+			get(1, "x", "2", true, 1, 2),
+		}},
+		// Ambiguous write can apply at most once: 1, then 2, then 1 again
+		// with only one put(1) in the history.
+		{"ambiguous single use", History{
+			put(0, "x", "1", 1, 2),
+			amb(put(1, "x", "2", 3, 0)),
+			get(2, "x", "2", true, 5, 6),
+			get(2, "x", "1", true, 7, 8),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Check(tc.h)
+			if res.Ok {
+				t.Fatalf("Check accepted a non-linearizable history:\n%v", tc.h)
+			}
+			if res.TimedOut {
+				t.Fatalf("Check timed out without a deadline: %+v", res)
+			}
+			if res.Key != "x" {
+				t.Fatalf("Result.Key = %q, want %q", res.Key, "x")
+			}
+		})
+	}
+}
+
+func TestCheckTimeout(t *testing.T) {
+	// A wide-open history (every op concurrent with every other) makes the
+	// search space huge; a 1ns budget must expire rather than hang.
+	var h History
+	for i := 0; i < 40; i++ {
+		h = append(h, put(i, "x", fmt.Sprint(i), 1, 1000))
+	}
+	h = append(h, get(99, "x", "nope", true, 1, 1000))
+	res := CheckTimeout(h, time.Nanosecond)
+	if res.Ok {
+		t.Fatal("expected not-Ok on timeout")
+	}
+	if !res.TimedOut {
+		t.Fatalf("expected TimedOut, got %+v", res)
+	}
+}
+
+// TestRecorder drives the Recorder concurrently and checks the resulting
+// history both linearizes and carries the expected outcome metadata.
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	p := r.Invoke(0, KindPut, "k", "v")
+	p.OK()
+	g := r.Invoke(0, KindGet, "k", "ignored-val")
+	g.Observed("v", true)
+	a := r.Invoke(1, KindPut, "k", "w")
+	a.Ambiguous()
+	f := r.Invoke(1, KindPut, "k", "never")
+	f.Failed()
+	ag := r.Invoke(2, KindGet, "k", "")
+	ag.Ambiguous() // ambiguous reads leave no trace
+
+	h := r.History()
+	if len(h) != 3 {
+		t.Fatalf("history has %d ops, want 3 (failed and ambiguous-get dropped):\n%v", len(h), h)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Invoke <= h[i-1].Invoke {
+			t.Fatal("history not sorted by invocation")
+		}
+	}
+	if h[0].Kind != KindPut || h[0].Outcome != OutcomeOK {
+		t.Fatalf("op 0 = %v", h[0])
+	}
+	if h[1].Kind != KindGet || h[1].Val != "v" || !h[1].Found {
+		t.Fatalf("op 1 = %v", h[1])
+	}
+	if h[2].Outcome != OutcomeAmbiguous || h[2].Return != InfTime {
+		t.Fatalf("ambiguous op = %v", h[2])
+	}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("recorded history not linearizable: %+v\n%v", res, h)
+	}
+}
+
+// TestCheckPerf pins the acceptance bound: a 4-client × 200-op concurrent
+// history (the chaos workload's shape) must verify in under 5 seconds.
+func TestCheckPerf(t *testing.T) {
+	h := randomLinearizableHistory(rand.New(rand.NewSource(42)), 4, 200, 3)
+	start := time.Now()
+	res := CheckTimeout(h, 5*time.Second)
+	elapsed := time.Since(start)
+	if !res.Ok {
+		t.Fatalf("generated history rejected: %+v", res)
+	}
+	if elapsed >= 5*time.Second {
+		t.Fatalf("check took %v, want < 5s", elapsed)
+	}
+	t.Logf("checked %d ops in %v (%d configurations)", len(h), elapsed, res.Visited)
+}
+
+// randomLinearizableHistory simulates clients×opsEach operations against a
+// real in-memory register under a random schedule, so the produced history
+// has genuine concurrency yet is linearizable by construction. Each client
+// has at most one outstanding op; an op takes effect at a random point
+// inside its interval.
+func randomLinearizableHistory(rng *rand.Rand, clients, opsEach, keys int) History {
+	type pend struct {
+		op      Op
+		applied bool // effect already taken?
+	}
+	store := map[string]string{}
+	var clock int64
+	tick := func() int64 { clock++; return clock }
+	pending := make([]*pend, clients)
+	remaining := make([]int, clients)
+	for i := range remaining {
+		remaining[i] = opsEach
+	}
+	var h History
+	apply := func(p *pend) {
+		switch p.op.Kind {
+		case KindPut:
+			store[p.op.Key] = p.op.Val
+		case KindDelete:
+			delete(store, p.op.Key)
+		default:
+			v, ok := store[p.op.Key]
+			p.op.Val, p.op.Found = v, ok
+		}
+		p.applied = true
+	}
+	for {
+		live := 0
+		for c := 0; c < clients; c++ {
+			if pending[c] != nil || remaining[c] > 0 {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		c := rng.Intn(clients)
+		switch p := pending[c]; {
+		case p == nil && remaining[c] > 0:
+			op := Op{Client: c, Invoke: tick(), Key: fmt.Sprintf("k%d", rng.Intn(keys))}
+			switch rng.Intn(4) {
+			case 0, 1:
+				op.Kind = KindGet
+			case 2:
+				op.Kind, op.Val = KindPut, fmt.Sprintf("v%d", clock)
+			default:
+				op.Kind = KindDelete
+			}
+			pending[c] = &pend{op: op}
+			remaining[c]--
+		case p != nil && !p.applied:
+			apply(p)
+		case p != nil:
+			p.op.Return = tick()
+			h = append(h, p.op)
+			pending[c] = nil
+		}
+	}
+	return h
+}

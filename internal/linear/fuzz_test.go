@@ -1,0 +1,161 @@
+package linear
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteCheck decides linearizability of a single-key history by
+// enumerating every permutation and validating real-time order plus the
+// sequential register spec. Exponential — callers keep len(ops) tiny. It
+// shares only the step function with the real checker, so it is a genuine
+// independent oracle for the search.
+func bruteCheck(ops []Op) bool {
+	n := len(ops)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			st := regState{}
+			var ok bool
+			for _, i := range perm {
+				if st, ok = step(st, ops[i]); !ok {
+					return false
+				}
+			}
+			return true
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			// Real-time order: nothing already placed may have been
+			// invoked after the new op returned.
+			legal := true
+			for _, j := range perm[:k] {
+				if ops[perm[k]].Return < ops[j].Invoke {
+					legal = false
+					break
+				}
+			}
+			if legal && rec(k+1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// decodeHistory turns fuzz bytes into a well-formed single-key history of
+// at most six operations with unique, consistent timestamps. Five bytes
+// per op: kind, value, found, raw invoke offset, raw duration+ambiguity.
+// Raw interval endpoints are ranked into unique integers (ties broken by
+// op index, invokes before returns) so the brute-force and search-based
+// checkers can never disagree on what "concurrent" means.
+func decodeHistory(data []byte) History {
+	n := len(data) / 5
+	if n > 6 {
+		n = 6
+	}
+	if n == 0 {
+		return nil
+	}
+	type endpoint struct {
+		op     int
+		raw    int
+		invoke bool
+	}
+	var eps []endpoint
+	ops := make(History, n)
+	for i := 0; i < n; i++ {
+		b := data[i*5 : i*5+5]
+		op := Op{Client: i, Key: "k"}
+		switch b[0] % 3 {
+		case 0:
+			op.Kind = KindPut
+			op.Val = string('a' + rune(b[1]%3))
+		case 1:
+			op.Kind = KindGet
+			op.Found = b[2]%2 == 0
+			if op.Found {
+				op.Val = string('a' + rune(b[1]%3))
+			}
+		default:
+			op.Kind = KindDelete
+		}
+		if b[4]%8 == 0 && op.Kind != KindGet {
+			op.Outcome = OutcomeAmbiguous
+		}
+		inv := int(b[3]) % 16
+		eps = append(eps,
+			endpoint{op: i, raw: inv, invoke: true},
+			endpoint{op: i, raw: inv + 1 + int(b[4]/8)%8, invoke: false})
+		ops[i] = op
+	}
+	sort.Slice(eps, func(i, j int) bool {
+		if eps[i].raw != eps[j].raw {
+			return eps[i].raw < eps[j].raw
+		}
+		if eps[i].invoke != eps[j].invoke {
+			return !eps[i].invoke // returns first on ties
+		}
+		return eps[i].op < eps[j].op
+	})
+	for rank, ep := range eps {
+		if ep.invoke {
+			ops[ep.op].Invoke = int64(rank + 1)
+		} else {
+			ops[ep.op].Return = int64(rank + 1)
+		}
+	}
+	for i := range ops {
+		if ops[i].Outcome == OutcomeAmbiguous {
+			ops[i].Return = InfTime
+		}
+	}
+	return ops
+}
+
+// FuzzCheckVsBrute cross-checks the Wing & Gong search against brute-force
+// permutation enumeration on tiny histories: any verdict disagreement is a
+// checker bug.
+func FuzzCheckVsBrute(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 9, 1, 0, 0, 2, 9})
+	f.Add([]byte{0, 0, 0, 0, 9, 0, 1, 0, 4, 9, 1, 0, 0, 8, 9})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 1, 0, 1, 9, 2, 0, 0, 6, 9})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 16; i++ {
+		b := make([]byte, 5*(1+rng.Intn(6)))
+		rng.Read(b)
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := decodeHistory(data)
+		got := Check(h).Ok
+		want := bruteCheck(h)
+		if got != want {
+			t.Fatalf("Check = %t, brute force = %t for history:\n%v", got, want, h)
+		}
+	})
+}
+
+// TestCheckVsBruteSeeded runs the same cross-check over a fixed corpus of
+// random tiny histories, so the oracle comparison executes on every plain
+// `go test` run, not only under -fuzz.
+func TestCheckVsBruteSeeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		b := make([]byte, 5*(1+rng.Intn(6)))
+		rng.Read(b)
+		h := decodeHistory(b)
+		got := Check(h).Ok
+		want := bruteCheck(h)
+		if got != want {
+			t.Fatalf("iteration %d: Check = %t, brute force = %t for history:\n%v", i, got, want, h)
+		}
+	}
+}

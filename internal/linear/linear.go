@@ -1,0 +1,199 @@
+// Package linear checks concurrent key-value histories for
+// linearizability (Herlihy & Wing). It is the verdict stage of the chaos
+// harness: clients log invoke/return events through a Recorder while the
+// nemesis injects partitions, crashes and drops against the live stack,
+// and Check then searches for a legal linearization of the merged history
+// — per key (a history is linearizable iff each key's subhistory is), with
+// the Wing & Gong search plus memoization of visited (linearized-set,
+// state) pairs, in the style of Lowe's and porcupine's checkers.
+//
+// Operations whose outcome the client could not observe — a timed-out
+// write, a proxy that died mid-call — are recorded as ambiguous: they MAY
+// have been applied, at any point from their invocation onward, so the
+// checker gives them an infinite return time. Operations that definitely
+// did not execute (the request never reached a server) are excluded from
+// the history entirely.
+package linear
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the KV operations the checker models.
+type Kind uint8
+
+// Operation kinds.
+const (
+	// KindPut writes Val to Key.
+	KindPut Kind = iota
+	// KindGet reads Key, observing (Found, Val).
+	KindGet
+	// KindDelete removes Key.
+	KindDelete
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindGet:
+		return "get"
+	case KindDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Outcome classifies how an operation completed.
+type Outcome uint8
+
+const (
+	// OutcomeOK: the operation returned and its result was observed.
+	OutcomeOK Outcome = iota
+	// OutcomeAmbiguous: the client never learned the result (timeout,
+	// dead proxy). The operation may have been applied at any point after
+	// its invocation — the checker must allow both possibilities.
+	OutcomeAmbiguous
+)
+
+// InfTime is the return timestamp of an ambiguous operation: it stays
+// concurrent with everything after its invocation.
+const InfTime = int64(math.MaxInt64)
+
+// Op is one completed client operation in a history.
+type Op struct {
+	// Client identifies the issuing client (informational; the checker
+	// does not require per-client sequentiality).
+	Client int
+	// Kind is the operation.
+	Kind Kind
+	// Key is the key operated on.
+	Key string
+	// Val is the written value (KindPut) or the observed value (KindGet
+	// with Found). Unused for KindDelete.
+	Val string
+	// Found reports, for KindGet, whether the key was present.
+	Found bool
+	// Invoke and Return are logical timestamps: op A precedes op B in
+	// real time iff A.Return < B.Invoke. Ambiguous ops use InfTime.
+	Invoke, Return int64
+	// Outcome is OK or Ambiguous.
+	Outcome Outcome
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case KindGet:
+		if !o.Found {
+			return fmt.Sprintf("c%d get(%s)=∅ [%d,%d]", o.Client, o.Key, o.Invoke, o.Return)
+		}
+		return fmt.Sprintf("c%d get(%s)=%q [%d,%d]", o.Client, o.Key, o.Val, o.Invoke, o.Return)
+	case KindDelete:
+		return fmt.Sprintf("c%d del(%s) [%d,%d]", o.Client, o.Key, o.Invoke, o.Return)
+	default:
+		return fmt.Sprintf("c%d put(%s,%q) [%d,%d]", o.Client, o.Key, o.Val, o.Invoke, o.Return)
+	}
+}
+
+// History is a set of completed operations. Order is irrelevant to the
+// checker; History() returns it sorted by invocation time for readability.
+type History []Op
+
+// Recorder collects a history from concurrent clients. Timestamps come
+// from a shared atomic counter, so the recorded order is consistent with
+// real time (a strict total order that refines the happens-before of the
+// actual calls). All methods are safe for concurrent use.
+type Recorder struct {
+	clock atomic.Int64
+
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// PendingOp is an invoked-but-unresolved operation. Exactly one of OK,
+// Observed, Ambiguous or Failed must be called to resolve it.
+type PendingOp struct {
+	r  *Recorder
+	op Op
+}
+
+// Invoke records the invocation of an operation. For KindPut, val is the
+// value being written; for KindGet and KindDelete it is ignored.
+func (r *Recorder) Invoke(client int, kind Kind, key, val string) *PendingOp {
+	if kind != KindPut {
+		val = ""
+	}
+	return &PendingOp{r: r, op: Op{
+		Client: client, Kind: kind, Key: key, Val: val,
+		Invoke: r.clock.Add(1),
+	}}
+}
+
+// OK resolves a write (Put or Delete) that was acknowledged.
+func (p *PendingOp) OK() {
+	p.op.Return = p.r.clock.Add(1)
+	p.op.Outcome = OutcomeOK
+	p.r.append(p.op)
+}
+
+// Observed resolves a Get with the value it saw (found=false for a miss).
+func (p *PendingOp) Observed(val string, found bool) {
+	p.op.Val, p.op.Found = val, found
+	if !found {
+		p.op.Val = ""
+	}
+	p.op.Return = p.r.clock.Add(1)
+	p.op.Outcome = OutcomeOK
+	p.r.append(p.op)
+}
+
+// Ambiguous resolves an operation whose outcome is unknown (timeout, lost
+// connection after the request was sent). Writes are kept with an
+// infinite return time — they may have been applied at any later point.
+// An ambiguous read has no effect and no observation, so it is dropped.
+func (p *PendingOp) Ambiguous() {
+	if p.op.Kind == KindGet {
+		return
+	}
+	p.op.Return = InfTime
+	p.op.Outcome = OutcomeAmbiguous
+	p.r.append(p.op)
+}
+
+// Failed resolves an operation that definitely did not execute (the
+// request never reached a server). It leaves no trace in the history.
+// Misclassifying a maybe-applied failure as Failed makes the checker
+// unsound — when unsure, call Ambiguous.
+func (p *PendingOp) Failed() {}
+
+func (r *Recorder) append(op Op) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+}
+
+// History returns the recorded operations sorted by invocation time.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	h := make(History, len(r.ops))
+	copy(h, r.ops)
+	r.mu.Unlock()
+	sort.Slice(h, func(i, j int) bool { return h[i].Invoke < h[j].Invoke })
+	return h
+}
+
+// Len reports how many operations have been recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

@@ -14,7 +14,58 @@ import (
 var (
 	ErrNoProxies = errors.New("smr client: no reachable proxy")
 	ErrNotFound  = errors.New("smr client: key not found")
+
+	// ErrMaybeApplied marks a failed write whose outcome is unknown: the
+	// request (may have) reached a server, so it may have been replicated
+	// and applied even though no acknowledgement came back. History
+	// checkers must treat such writes as concurrent with everything after
+	// their invocation (see internal/linear's ambiguous outcome).
+	ErrMaybeApplied = errors.New("smr client: outcome unknown (the request may have been applied)")
+	// ErrRejected marks a failed request that definitely did NOT execute —
+	// it never reached a server, or the server refused it before proposing
+	// (usage errors, unknown commands). Safe to drop from a history.
+	ErrRejected = errors.New("smr client: request was not applied")
 )
+
+// outcomeError wraps a request failure with its applied-or-not verdict;
+// errors.Is(err, ErrMaybeApplied) / errors.Is(err, ErrRejected) read it
+// back. Every failure is exactly one of the two.
+type outcomeError struct {
+	cause error
+	maybe bool
+}
+
+func (e *outcomeError) Error() string {
+	if e.maybe {
+		return e.cause.Error() + " [outcome unknown: may have been applied]"
+	}
+	return e.cause.Error()
+}
+
+func (e *outcomeError) Unwrap() error { return e.cause }
+
+func (e *outcomeError) Is(target error) bool {
+	switch target {
+	case ErrMaybeApplied:
+		return e.maybe
+	case ErrRejected:
+		return !e.maybe
+	}
+	return false
+}
+
+// ambiguousReply classifies an ERR reply line: replies the server emits
+// before proposing anything (malformed requests) are definite rejections;
+// every other error — a server-side timeout above all — arrived after the
+// command may have entered consensus, so the write may still apply.
+func ambiguousReply(reply string) bool {
+	for _, definite := range []string{"ERR usage:", "ERR unknown command", "ERR empty"} {
+		if strings.HasPrefix(reply, definite) {
+			return false
+		}
+	}
+	return true
+}
 
 // Client talks the Server line protocol and fails over between proxies: it
 // sticks to one replica (its proxy, in the paper's sense) while that
@@ -40,23 +91,52 @@ func NewClient(addrs []string, opTimeout time.Duration) (*Client, error) {
 	return &Client{addrs: addrs, timeout: opTimeout}, nil
 }
 
-// Put replicates a write through the current proxy.
+// Put replicates a write through the current proxy. A non-nil error
+// matches exactly one of ErrMaybeApplied / ErrRejected (errors.Is).
 func (c *Client) Put(key, val string) error {
-	reply, err := c.roundTrip(fmt.Sprintf("PUT %s %s", key, val))
+	return c.write(fmt.Sprintf("PUT %s %s", key, val))
+}
+
+// Delete removes a key through the current proxy. Errors carry the same
+// applied-or-not verdict as Put.
+func (c *Client) Delete(key string) error {
+	return c.write("DEL " + key)
+}
+
+// write runs one mutating command and classifies any failure: a request
+// that may have left this process is maybe-applied; one that never did, or
+// that the server refused before proposing, is rejected.
+func (c *Client) write(line string) error {
+	reply, sent, err := c.roundTrip(line)
 	if err != nil {
-		return err
+		return &outcomeError{cause: err, maybe: sent}
 	}
 	if reply != "OK" {
-		return fmt.Errorf("smr client: %s", reply)
+		return &outcomeError{
+			cause: fmt.Errorf("smr client: %s", reply),
+			maybe: ambiguousReply(reply),
+		}
 	}
 	return nil
 }
 
-// Get reads a key through the current proxy.
+// Get reads a key through the current proxy from the proxy's local applied
+// state; the reply can lag concurrent writes. Use GetLinearizable for a
+// read that observes every completed write.
 func (c *Client) Get(key string) (string, error) {
-	reply, err := c.roundTrip("GET " + key)
+	return c.read("GET " + key)
+}
+
+// GetLinearizable reads a key with linearizable semantics (the server
+// replicates a no-op through consensus before reading).
+func (c *Client) GetLinearizable(key string) (string, error) {
+	return c.read("GETL " + key)
+}
+
+func (c *Client) read(line string) (string, error) {
+	reply, sent, err := c.roundTrip(line)
 	if err != nil {
-		return "", err
+		return "", &outcomeError{cause: err, maybe: sent}
 	}
 	switch {
 	case strings.HasPrefix(reply, "VAL "):
@@ -64,26 +144,17 @@ func (c *Client) Get(key string) (string, error) {
 	case reply == "NONE":
 		return "", ErrNotFound
 	default:
-		return "", fmt.Errorf("smr client: %s", reply)
+		return "", &outcomeError{
+			cause: fmt.Errorf("smr client: %s", reply),
+			maybe: ambiguousReply(reply),
+		}
 	}
-}
-
-// Delete removes a key through the current proxy.
-func (c *Client) Delete(key string) error {
-	reply, err := c.roundTrip("DEL " + key)
-	if err != nil {
-		return err
-	}
-	if reply != "OK" {
-		return fmt.Errorf("smr client: %s", reply)
-	}
-	return nil
 }
 
 // Stats fetches the current proxy replica's transport counters line
 // (the server's STATS command).
 func (c *Client) Stats() (string, error) {
-	reply, err := c.roundTrip("STATS")
+	reply, _, err := c.roundTrip("STATS")
 	if err != nil {
 		return "", err
 	}
@@ -97,7 +168,7 @@ func (c *Client) Stats() (string, error) {
 // (applied index, open slots, WAL and snapshot state; the server's INFO
 // command).
 func (c *Client) Info() (string, error) {
-	reply, err := c.roundTrip("INFO")
+	reply, _, err := c.roundTrip("INFO")
 	if err != nil {
 		return "", err
 	}
@@ -126,9 +197,15 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// roundTrip sends one line and reads one reply, failing over across proxies
-// (each tried once per operation).
-func (c *Client) roundTrip(line string) (string, error) {
+// roundTrip sends one line and reads one reply, failing over across
+// proxies (each tried once per operation). sent reports whether the
+// request line may have reached a server on some attempt — once a write
+// on an established connection is attempted, bytes may be in flight even
+// when the write or the reply read errors, so the command may execute.
+// Note the failover hazard this implies: an attempt after a sent attempt
+// re-submits the command as a new proposal, so a write can apply twice.
+// Callers that need at-most-once semantics use a single-address client.
+func (c *Client) roundTrip(line string) (reply string, sent bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error = ErrNoProxies
@@ -146,18 +223,20 @@ func (c *Client) roundTrip(line string) (string, error) {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
 		if _, err := fmt.Fprintln(c.conn, line); err != nil {
 			lastErr = err
+			sent = true // a partial write may still deliver the line
 			c.dropLocked()
 			continue
 		}
-		reply, err := c.rd.ReadString('\n')
+		sent = true
+		raw, err := c.rd.ReadString('\n')
 		if err != nil {
 			lastErr = err
 			c.dropLocked()
 			continue
 		}
-		return strings.TrimRight(reply, "\r\n"), nil
+		return strings.TrimRight(raw, "\r\n"), sent, nil
 	}
-	return "", fmt.Errorf("smr client: all proxies failed: %w", lastErr)
+	return "", sent, fmt.Errorf("smr client: all proxies failed: %w", lastErr)
 }
 
 // dropLocked closes the current connection and rotates to the next proxy.

@@ -1,0 +1,88 @@
+package smr
+
+import "repro/internal/consensus"
+
+// Fault-injection surface for the chaos harness (internal/chaos): a
+// crash-simulating shutdown that takes the real recovery path on restart,
+// and a deliberately broken read path that proves the harness's
+// linearizability checker has teeth.
+
+// Kill simulates a process crash: the WAL is closed WITHOUT the final sync
+// (uncommitted buffered records are abandoned, as a power cut would
+// abandon them), no further messages or client acks leave the replica, and
+// every outstanding client call fails. Kill blocks until the I/O consumer
+// has exited, so when it returns the replica is externally silent — the
+// deterministic shutdown barrier the chaos nemesis schedules around. A new
+// replica opened on the same data directory then runs the real
+// crash-recovery path.
+//
+// Contrast with Close, which syncs the WAL on the way down (graceful
+// shutdown must be durable).
+func (r *Replica) Kill() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for _, t := range r.timers {
+		t.Stop()
+	}
+	for _, chs := range r.waiters {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}
+	r.waiters = make(map[int][]chan consensus.Value)
+	for _, chs := range r.appliedW {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}
+	r.appliedW = make(map[int][]chan struct{})
+	tr := r.tr
+	// Detach the transport under the lock: the outbox consumer reloads it
+	// per batch, so entries still queued send nothing after this point.
+	r.tr = nil
+	b := r.batch
+	d := r.dur
+	started := r.obStarted
+	r.mu.Unlock()
+	if b != nil {
+		b.close()
+	}
+	var firstErr error
+	if d != nil {
+		// Abort the WAL BEFORE draining the outbox: queued group commits
+		// must fail — and fail their client wakeups — rather than make the
+		// "crashed" state durable.
+		if err := d.wal.Abort(); err != nil {
+			firstErr = err
+		}
+	}
+	r.ob.close()
+	if started {
+		<-r.outDone
+	}
+	if tr != nil {
+		if err := tr.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// FaultInjectStaleReads deliberately breaks the replica's read path: once
+// enabled, Get (and therefore GetLinearizable through this replica)
+// returns the previously overwritten value of any key that has been
+// overwritten. The chaos suite's "teeth" test flips this on and asserts
+// the linearizability checker rejects the resulting history — proving a
+// passing verdict means something. Never enable outside tests.
+func (r *Replica) FaultInjectStaleReads() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faultStale = true
+	if r.faultPrev == nil {
+		r.faultPrev = make(map[string]string)
+	}
+}

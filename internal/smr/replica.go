@@ -124,6 +124,11 @@ type Replica struct {
 	// batch, when non-nil, groups Submit traffic into OpBatch commands.
 	batch *batcher
 
+	// faultStale deliberately serves overwritten values from faultPrev —
+	// the chaos harness's "teeth" fault (see FaultInjectStaleReads).
+	faultStale bool
+	faultPrev  map[string]string
+
 	// dur, when non-nil, journals slot state to a WAL and checkpoints the
 	// applied store into snapshots (see durability.go).
 	dur *durable
@@ -482,6 +487,11 @@ func (r *Replica) TransportStats() (transport.Stats, bool) {
 func (r *Replica) Get(key string) (string, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.faultStale {
+		if v, ok := r.faultPrev[key]; ok {
+			return v, true
+		}
+	}
 	v, ok := r.store[key]
 	return v, ok
 }
@@ -796,6 +806,11 @@ func (r *Replica) applyCommandLocked(v consensus.Value) {
 func (r *Replica) applyDecodedLocked(cmd Command) {
 	switch cmd.Op {
 	case OpPut:
+		if r.faultStale {
+			if old, ok := r.store[cmd.Key]; ok && old != cmd.Val {
+				r.faultPrev[cmd.Key] = old
+			}
+		}
 		r.store[cmd.Key] = cmd.Val
 	case OpDelete:
 		delete(r.store, cmd.Key)

@@ -136,6 +136,21 @@ func (s *Server) handleLine(line string) string {
 			return "VAL " + v
 		}
 		return "NONE"
+	case "GETL":
+		// Linearizable read: replicates a no-op through consensus before
+		// reading, so the reply observes every write that completed before
+		// the request (plain GET serves possibly-stale local state).
+		if len(fields) != 2 {
+			return "ERR usage: GETL <key>"
+		}
+		v, ok, err := kv.GetLinearizable(ctx, fields[1])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		if ok {
+			return "VAL " + v
+		}
+		return "NONE"
 	case "PUT":
 		if len(fields) < 3 {
 			return "ERR usage: PUT <key> <value>"

@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"repro/internal/consensus"
+	"time"
+)
+
+// FaultVerdict is a fault injector's decision for one message. The zero
+// value delivers normally. Drop takes precedence over Duplicate and Delay.
+type FaultVerdict struct {
+	// Drop discards the message, counted under DropFault.
+	Drop bool
+	// Duplicate delivers the message twice. The protocols are idempotent
+	// per (slot, kind, sender), so duplication must be harmless; chaos runs
+	// assert exactly that.
+	Duplicate bool
+	// Delay holds the message for the given duration before delivery.
+	// Delayed messages bypass the fabric's per-pair FIFO order — reordering
+	// is deliberately part of the fault model.
+	Delay time.Duration
+}
+
+// FaultFunc inspects a message's (from, to) pair and decides its fate. It
+// is called on the sender's goroutine with no mesh locks held and must be
+// safe for concurrent use.
+type FaultFunc func(from, to consensus.ProcessID) FaultVerdict
+
+// SetFault installs f as the fabric-wide fault injector; nil heals the
+// fabric. The swap is atomic: in-flight sends use whichever injector they
+// loaded, subsequent sends use f.
+func (m *Mesh) SetFault(f FaultFunc) {
+	if f == nil {
+		m.fault.Store(nil)
+		return
+	}
+	m.fault.Store(&f)
+}
+
+// deliver enqueues a delayed message, counting the outcome against st at
+// delivery time: a mesh closed during the delay turns the message into a
+// closed-drop, a full inbox into a queue-full drop.
+func (m *Mesh) deliver(from, to consensus.ProcessID, msg consensus.Message, st *counters) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		st.drop(DropClosed, to)
+		return
+	}
+	select {
+	case m.inboxes[to] <- meshEnvelope{from: from, msg: msg}:
+		st.sent(0)
+	default:
+		st.drop(DropQueueFull, to)
+	}
+}

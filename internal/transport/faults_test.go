@@ -1,0 +1,201 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func testMsg(v int64) consensus.Message {
+	return &core.DecideMsg{Value: consensus.IntValue(v)}
+}
+
+func waitStats(t *testing.T, tr transport.Transport, pred func(transport.Stats) bool) transport.Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := tr.Stats()
+		if pred(s) {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for stats condition; last: %v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFaultDropCountedAndHealRestores pins the two core nemesis
+// properties: an injected drop is counted under the distinct "fault"
+// cause (not confused with organic backpressure), and clearing the
+// injector heals the fabric — subsequent sends deliver.
+func TestFaultDropCountedAndHealRestores(t *testing.T) {
+	mesh := transport.NewMesh(2)
+	defer mesh.Close()
+	var c1 collector
+	ep0, err := mesh.Endpoint(0, (&collector{}).handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.Endpoint(1, c1.handle); err != nil {
+		t.Fatal(err)
+	}
+
+	mesh.SetFault(func(from, to consensus.ProcessID) transport.FaultVerdict {
+		return transport.FaultVerdict{Drop: true}
+	})
+	for i := int64(0); i < 3; i++ {
+		if err := ep0.Send(1, testMsg(i)); err != nil {
+			t.Fatalf("send under fault: %v", err)
+		}
+	}
+	s := ep0.Stats()
+	if s.DropsByCause[transport.DropFault] != 3 {
+		t.Fatalf("fault drops = %d, want 3 (stats: %v)", s.DropsByCause[transport.DropFault], s)
+	}
+	if s.Sends != 0 {
+		t.Fatalf("sends = %d under total drop fault, want 0", s.Sends)
+	}
+	if s.DropsByPeer[1] != 3 {
+		t.Fatalf("drops against peer 1 = %d, want 3", s.DropsByPeer[1])
+	}
+	// The fabric view must carry the cause through Merge.
+	if ms := mesh.Stats(); ms.DropsByCause[transport.DropFault] != 3 {
+		t.Fatalf("mesh fault drops = %d, want 3", ms.DropsByCause[transport.DropFault])
+	}
+
+	mesh.SetFault(nil) // heal
+	if err := ep0.Send(1, testMsg(9)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &c1, 1)
+	if got := c1.got[0].(*core.DecideMsg).Value; got != consensus.IntValue(9) {
+		t.Fatalf("delivered %v after heal, want 9", got)
+	}
+	if s := ep0.Stats(); s.DropsByCause[transport.DropFault] != 3 {
+		t.Fatalf("heal changed historical drop count: %v", s)
+	}
+}
+
+// TestFaultAsymmetricPartition: blocking 0→1 must leave 1→0 untouched.
+func TestFaultAsymmetricPartition(t *testing.T) {
+	mesh := transport.NewMesh(2)
+	defer mesh.Close()
+	var c0, c1 collector
+	ep0, err := mesh.Endpoint(0, c0.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := mesh.Endpoint(1, c1.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mesh.SetFault(func(from, to consensus.ProcessID) transport.FaultVerdict {
+		return transport.FaultVerdict{Drop: from == 0 && to == 1}
+	})
+	if err := ep0.Send(1, testMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep1.Send(0, testMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &c0, 1) // reverse direction flows
+	if got := ep0.Stats().DropsByCause[transport.DropFault]; got != 1 {
+		t.Fatalf("0→1 fault drops = %d, want 1", got)
+	}
+	if got := ep1.Stats().Drops; got != 0 {
+		t.Fatalf("1→0 drops = %d, want 0", got)
+	}
+	if c1.count() != 0 {
+		t.Fatalf("blocked direction delivered %d message(s)", c1.count())
+	}
+}
+
+// TestFaultDuplicate: a Duplicate verdict delivers the message twice and
+// counts both copies as sends.
+func TestFaultDuplicate(t *testing.T) {
+	mesh := transport.NewMesh(2)
+	defer mesh.Close()
+	var c1 collector
+	ep0, err := mesh.Endpoint(0, (&collector{}).handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.Endpoint(1, c1.handle); err != nil {
+		t.Fatal(err)
+	}
+	mesh.SetFault(func(from, to consensus.ProcessID) transport.FaultVerdict {
+		return transport.FaultVerdict{Duplicate: true}
+	})
+	if err := ep0.Send(1, testMsg(5)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &c1, 2)
+	if s := ep0.Stats(); s.Sends != 2 {
+		t.Fatalf("sends = %d for one duplicated message, want 2", s.Sends)
+	}
+}
+
+// TestFaultDelay: a delayed message arrives no earlier than its delay, and
+// its send is only counted at delivery.
+func TestFaultDelay(t *testing.T) {
+	const delay = 100 * time.Millisecond
+	mesh := transport.NewMesh(2)
+	defer mesh.Close()
+	var c1 collector
+	ep0, err := mesh.Endpoint(0, (&collector{}).handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.Endpoint(1, c1.handle); err != nil {
+		t.Fatal(err)
+	}
+	mesh.SetFault(func(from, to consensus.ProcessID) transport.FaultVerdict {
+		return transport.FaultVerdict{Delay: delay}
+	})
+	start := time.Now()
+	if err := ep0.Send(1, testMsg(7)); err != nil {
+		t.Fatal(err)
+	}
+	if s := ep0.Stats(); s.Sends != 0 {
+		t.Fatalf("send counted before the delay elapsed: %v", s)
+	}
+	waitCount(t, &c1, 1)
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("message arrived after %v, before its %v delay", elapsed, delay)
+	}
+	if s := ep0.Stats(); s.Sends != 1 {
+		t.Fatalf("sends = %d after delayed delivery, want 1", s.Sends)
+	}
+}
+
+// TestFaultDelayedDropsOnClosedMesh: a message still in its delay window
+// when the fabric closes becomes a closed-drop, not a panic.
+func TestFaultDelayedDropsOnClosedMesh(t *testing.T) {
+	mesh := transport.NewMesh(2)
+	var c1 collector
+	ep0, err := mesh.Endpoint(0, (&collector{}).handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.Endpoint(1, c1.handle); err != nil {
+		t.Fatal(err)
+	}
+	mesh.SetFault(func(from, to consensus.ProcessID) transport.FaultVerdict {
+		return transport.FaultVerdict{Delay: 30 * time.Millisecond}
+	})
+	if err := ep0.Send(1, testMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	mesh.Close()
+	waitStats(t, ep0, func(s transport.Stats) bool {
+		return s.DropsByCause[transport.DropClosed] >= 1
+	})
+	if c1.count() != 0 {
+		t.Fatal("delayed message delivered through a closed mesh")
+	}
+}

@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/consensus"
 )
@@ -14,6 +16,10 @@ import (
 type Mesh struct {
 	n     int
 	depth int
+
+	// fault, when set, decides the fate of every message (see SetFault).
+	// atomic.Pointer so the hot Send path reads it without the mesh lock.
+	fault atomic.Pointer[FaultFunc]
 
 	mu sync.RWMutex
 	// inboxes[i] carries envelopes destined for endpoint i.
@@ -122,10 +128,33 @@ func (e *meshEndpoint) Stats() Stats {
 }
 
 // Send implements Transport. Sends to a full inbox drop (counted per
-// destination); sends on a closed mesh drop with an error.
+// destination); sends on a closed mesh drop with an error. An installed
+// fault injector (Mesh.SetFault) may discard, duplicate, or delay the
+// message first.
 func (e *meshEndpoint) Send(to consensus.ProcessID, msg consensus.Message) error {
 	if int(to) < 0 || int(to) >= e.mesh.n {
 		return fmt.Errorf("mesh: send to %d out of range", to)
+	}
+	copies := 1
+	var delay time.Duration
+	if fp := e.mesh.fault.Load(); fp != nil {
+		v := (*fp)(e.id, to)
+		if v.Drop {
+			e.stats.drop(DropFault, to)
+			return nil
+		}
+		if v.Duplicate {
+			copies = 2
+		}
+		delay = v.Delay
+	}
+	if delay > 0 {
+		// Delivery (and its accounting) happens when the timer fires; a
+		// mesh closed in the meantime turns the copies into closed-drops.
+		for i := 0; i < copies; i++ {
+			time.AfterFunc(delay, func() { e.mesh.deliver(e.id, to, msg, &e.stats) })
+		}
+		return nil
 	}
 	e.mesh.mu.RLock()
 	defer e.mesh.mu.RUnlock()
@@ -133,13 +162,15 @@ func (e *meshEndpoint) Send(to consensus.ProcessID, msg consensus.Message) error
 		e.stats.drop(DropClosed, to)
 		return fmt.Errorf("mesh send to %d: %w", to, ErrClosed)
 	}
-	select {
-	case e.mesh.inboxes[to] <- meshEnvelope{from: e.id, msg: msg}:
-		e.stats.sent(0) // by-reference delivery: no wire bytes
-	default:
-		// Inbox full: drop; protocol timers will retransmit. The drop is
-		// counted against the destination so soak runs can report loss.
-		e.stats.drop(DropQueueFull, to)
+	for i := 0; i < copies; i++ {
+		select {
+		case e.mesh.inboxes[to] <- meshEnvelope{from: e.id, msg: msg}:
+			e.stats.sent(0) // by-reference delivery: no wire bytes
+		default:
+			// Inbox full: drop; protocol timers will retransmit. The drop is
+			// counted against the destination so soak runs can report loss.
+			e.stats.drop(DropQueueFull, to)
+		}
 	}
 	return nil
 }

@@ -29,11 +29,15 @@ const (
 	// not in the address book; it was rejected before reaching protocol
 	// code.
 	DropBadSender DropCause = "bad-sender"
+	// DropFault: an injected fault (Mesh.SetFault) discarded the message.
+	// Distinct from the organic causes so chaos runs can tell deliberate
+	// loss from real backpressure.
+	DropFault DropCause = "fault"
 )
 
 // dropCauseOrder fixes the rendering order of Stats.String.
 var dropCauseOrder = []DropCause{
-	DropQueueFull, DropConn, DropOversize, DropClosed, DropBadSender,
+	DropQueueFull, DropConn, DropOversize, DropClosed, DropBadSender, DropFault,
 }
 
 // Stats is a point-in-time snapshot of a transport's counters.

@@ -478,6 +478,30 @@ func (w *WAL) Close() error {
 	return err
 }
 
+// Abort closes the WAL without the final sync — the crash-simulation twin
+// of Close, for harnesses that restart a replica in-process through its
+// real recovery path. Buffered records that were never committed are
+// abandoned exactly as a power cut would abandon them (modulo OS page
+// cache: an in-process abort cannot unwrite bytes the kernel already has;
+// torn-write injection is FailpointLimit's job). In-flight group commits
+// finish first — their records were durable before the "crash".
+func (w *WAL) Abort() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.awaitSyncLocked()
+	w.closed = true
+	w.sc.Broadcast() // release committers queued behind the closed flag
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
 // usableLocked rejects operations on a closed or poisoned WAL.
 func (w *WAL) usableLocked() error {
 	if w.closed {
