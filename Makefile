@@ -13,7 +13,8 @@ vet:
 	$(GO) vet ./...
 
 # Custom static-analysis suite (determinism, quorumarith, lockguard,
-# msgswitch) — see docs/ANALYZERS.md.
+# msgswitch, iolock, codecsym, atomicguard, golifecycle, errtaxonomy) —
+# see docs/ANALYZERS.md.
 lint:
 	$(GO) run ./cmd/protolint ./...
 
@@ -59,6 +60,8 @@ fuzz:
 	$(GO) test ./internal/consensus -run=NONE -fuzz=FuzzCodecDecode -fuzztime=30s
 	$(GO) test ./internal/core -run=NONE -fuzz=FuzzDeliverRobustness -fuzztime=30s
 	$(GO) test ./internal/wal -run=NONE -fuzz=FuzzRecordCodec -fuzztime=30s
+	$(GO) test ./internal/transport -run=NONE -fuzz=FuzzFrameRoundTrip -fuzztime=30s
+	$(GO) test ./internal/storage -run=NONE -fuzz=FuzzSnapshotRoundTrip -fuzztime=30s
 
 # Crash-injection suite: torn writes, failpoints mid-record, kill-and-restart
 # recovery — see docs/DURABILITY.md.

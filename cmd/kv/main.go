@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -208,15 +209,7 @@ func clientMain(addrs []string) error {
 				fmt.Println("usage: GET <key>")
 				break
 			}
-			v, err := client.Get(fields[1])
-			switch {
-			case err == nil:
-				fmt.Println("VAL", v)
-			case strings.Contains(err.Error(), "not found"):
-				fmt.Println("NONE")
-			default:
-				fmt.Println("ERR", err)
-			}
+			fmt.Println(renderGet(client.Get(fields[1])))
 		case "PUT":
 			if len(fields) < 3 {
 				fmt.Println("usage: PUT <key> <value>")
@@ -257,4 +250,19 @@ func clientMain(addrs []string) error {
 		fmt.Print("> ")
 	}
 	return nil
+}
+
+// renderGet formats a GET outcome for the REPL. A missing key is an
+// expected outcome, not an error, and is recognised by sentinel — the
+// client wraps its errors, so only errors.Is is reliable (matching on the
+// message text broke the moment the client's wording changed).
+func renderGet(v string, err error) string {
+	switch {
+	case err == nil:
+		return "VAL " + v
+	case errors.Is(err, smr.ErrNotFound):
+		return "NONE"
+	default:
+		return "ERR " + err.Error()
+	}
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/smr"
+)
+
+// TestRenderGetMatchesSentinelNotText pins the errtaxonomy fix: a missing
+// key is recognised by errors.Is on the wrapped sentinel, and an unrelated
+// error whose message merely contains "not found" is NOT mistaken for one
+// (the old strings.Contains classification got both cases wrong).
+func TestRenderGetMatchesSentinelNotText(t *testing.T) {
+	cases := []struct {
+		name string
+		v    string
+		err  error
+		want string
+	}{
+		{"hit", "42", nil, "VAL 42"},
+		{"miss", "", smr.ErrNotFound, "NONE"},
+		{"wrapped miss", "", fmt.Errorf("kv get retry 3: %w", smr.ErrNotFound), "NONE"},
+		{"text lookalike", "", fmt.Errorf("proxy not found in address book"), "ERR proxy not found in address book"},
+	}
+	for _, tc := range cases {
+		if got := renderGet(tc.v, tc.err); got != tc.want {
+			t.Errorf("%s: renderGet = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}

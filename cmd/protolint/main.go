@@ -1,18 +1,23 @@
 // Command protolint runs the repository's custom static-analysis suite
 // (internal/analyzers) over the module: determinism of the protocol state
 // machines, centralised quorum arithmetic, lock discipline, exhaustive
-// message dispatch, and no blocking I/O inside critical sections. See
-// docs/ANALYZERS.md.
+// message dispatch, no blocking I/O inside critical sections, codec
+// encode/decode symmetry, atomic field discipline, goroutine lifecycle
+// accounting, and error-taxonomy hygiene. See docs/ANALYZERS.md.
 //
 // Usage:
 //
-//	go run ./cmd/protolint [-run=name1,name2] [-list] [packages...]
+//	go run ./cmd/protolint [-run=name1,name2] [-list] [-json] [packages...]
 //
 // With no package arguments it analyzes ./.... It exits 1 if any analyzer
-// reports a finding, making it suitable for `make lint` and CI.
+// reports a finding, making it suitable for `make lint` and CI. The default
+// text format (file:line:col: message (analyzer)) is matched by the GitHub
+// problem matcher in .github/protolint-matcher.json; -json emits one object
+// per finding for tooling that wants structure instead of a regexp.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +27,22 @@ import (
 	"repro/internal/analyzers"
 )
 
+// jsonFinding is the -json wire form of one diagnostic. Field names are
+// part of the tool's interface; add fields, never rename them.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Package  string `json:"package"`
+}
+
 func main() {
 	var (
 		runList  = flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
 		listOnly = flag.Bool("list", false, "list registered analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	)
 	flag.Parse()
 
@@ -98,9 +115,31 @@ func main() {
 		}
 		return all[i].d.Analyzer < all[j].d.Analyzer
 	})
-	for _, item := range all {
-		pos := item.pkg.Fset.Position(item.d.Pos)
-		fmt.Printf("%s: %s (%s)\n", pos, item.d.Message, item.d.Analyzer)
+	if *jsonOut {
+		// Always an array, even when empty: consumers parse unconditionally.
+		out := make([]jsonFinding, 0, len(all))
+		for _, item := range all {
+			pos := item.pkg.Fset.Position(item.d.Pos)
+			out = append(out, jsonFinding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: item.d.Analyzer,
+				Message:  item.d.Message,
+				Package:  item.pkg.ImportPath,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "protolint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, item := range all {
+			pos := item.pkg.Fset.Position(item.d.Pos)
+			fmt.Printf("%s: %s (%s)\n", pos, item.d.Message, item.d.Analyzer)
+		}
 	}
 	if len(all) > 0 {
 		fmt.Fprintf(os.Stderr, "protolint: %d finding(s)\n", len(all))

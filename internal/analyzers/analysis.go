@@ -153,7 +153,13 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	return pass.diagnostics, nil
 }
 
-// Suite returns the full protolint analyzer suite in a stable order.
+// Suite returns the full protolint analyzer suite in a stable order: the
+// first-generation syntactic checks (determinism, quorumarith, lockguard,
+// msgswitch, iolock) followed by the second-generation dataflow checks
+// (codecsym, atomicguard, golifecycle, errtaxonomy).
 func Suite() []*Analyzer {
-	return []*Analyzer{Determinism, QuorumArith, LockGuard, MsgSwitch, IOLock}
+	return []*Analyzer{
+		Determinism, QuorumArith, LockGuard, MsgSwitch, IOLock,
+		CodecSym, AtomicGuard, GoLifecycle, ErrTaxonomy,
+	}
 }

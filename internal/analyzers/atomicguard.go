@@ -1,0 +1,135 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicGuard enforces all-or-nothing atomicity on fields: a field that is
+// accessed through sync/atomic anywhere in the package (atomic.AddUint64,
+// atomic.LoadInt64, ...) must never be read or written plainly elsewhere —
+// a single plain access reintroduces the data race the atomic was meant to
+// remove, and the race detector only catches it when a test happens to hit
+// the interleaving. The analyzer also flags value copies of the sync/atomic
+// wrapper types (atomic.Uint64, atomic.Value, ...): a copied wrapper forks
+// the counter silently, so wrappers may only be used through their methods
+// or by address.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc: "a field accessed via sync/atomic must never be accessed plainly, " +
+		"and sync/atomic wrapper values must not be copied",
+	Run: runAtomicGuard,
+}
+
+func runAtomicGuard(pass *Pass) error {
+	atomicFields := map[types.Object]bool{}
+	sanctioned := map[ast.Node]bool{}
+
+	// Pass 1: every &expr handed to a sync/atomic function marks its field as
+	// atomic and its own selector as a sanctioned access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if obj := fieldObject(pass, un.X); obj != nil {
+					atomicFields[obj] = true
+					sanctioned[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: any other mention of an atomic field is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[n] {
+					return true
+				}
+				obj := fieldObject(pass, n)
+				if obj != nil && atomicFields[obj] {
+					pass.Reportf(n.Pos(),
+						"field %s is accessed via sync/atomic elsewhere in this package; this plain access races with it — use the atomic API here too",
+						obj.Name())
+				}
+			case *ast.AssignStmt:
+				checkWrapperCopy(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicFuncCall reports whether call invokes a package-level function of
+// sync/atomic (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicFuncCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldObject resolves e to the struct field it selects, or nil when e is
+// not a field selector. Matching on the field object — not the expression
+// text — makes the check see c.enqueued and snapshot-time c.enqueued as the
+// same field regardless of receiver name.
+func fieldObject(pass *Pass, e ast.Expr) types.Object {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// checkWrapperCopy flags assignments that copy a sync/atomic wrapper value
+// (atomic.Uint64 and friends) instead of using it through methods.
+func checkWrapperCopy(pass *Pass, a *ast.AssignStmt) {
+	for _, rhs := range a.Rhs {
+		if isAtomicWrapperValue(pass, rhs) {
+			pass.Reportf(rhs.Pos(),
+				"copying a sync/atomic value forks the counter; keep a single instance and use its methods")
+		}
+	}
+}
+
+// isAtomicWrapperValue reports whether e is a non-pointer value of one of
+// sync/atomic's wrapper types.
+func isAtomicWrapperValue(pass *Pass, e ast.Expr) bool {
+	if _, ok := e.(*ast.CompositeLit); ok {
+		return false // zero-value initialization is fine
+	}
+	if un, ok := e.(*ast.UnaryExpr); ok && un.Op.String() == "&" {
+		return false
+	}
+	t := typeOf(pass, e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

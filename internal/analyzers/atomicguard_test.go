@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+// TestAtomicGuard exercises the all-or-nothing atomic field discipline:
+// plain reads and writes of atomically-accessed fields are flagged, fields
+// that are consistently plain or consistently atomic are not, and value
+// copies of sync/atomic wrapper types are flagged.
+func TestAtomicGuard(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/atomicguard",
+		"repro/internal/atomicfixture", analyzers.AtomicGuard)
+}

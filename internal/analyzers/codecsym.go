@@ -1,0 +1,372 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// CodecSym cross-checks hand-written encode/decode pairs: the decoder must
+// read the same fixed-width fields, the same number of times, with the same
+// byte order as the encoder writes — and a hand-spliced JSON encoder must
+// emit exactly the keys its struct's json tags declare, so the reflective
+// json.Unmarshal on the decode side sees every field. Wire drift between the
+// two sides of a codec is the single most likely silent bug when a format
+// grows a field (e.g. group-tagged WAL records for the sharded multi-group
+// runtime), because each side round-trips cleanly against itself.
+//
+// Pairing is by name: a function with binary.<Endian>.PutUintN/AppendUintN
+// calls is an encoder, one with binary.<Endian>.UintN calls is a decoder,
+// and the two are compared when their names agree after stripping a codec
+// verb prefix (Encode/Decode, Parse, Read/Write, Save/Load, Marshal/
+// Unmarshal, Append). The comparison counts calls per width — not offsets —
+// so an encoder that fills the checksum field out of order (wal.EncodeRecord)
+// still matches its in-order decoder.
+var CodecSym = &Analyzer{
+	Name: "codecsym",
+	Doc: "decode must read the same fixed-width fields, count and byte order " +
+		"as encode writes; JSON splices must emit exactly the struct's json tags",
+	Run: runCodecSym,
+}
+
+// codecEndpoint is one side of a binary codec: the per-width call counts of
+// one function's fixed-width reads or writes.
+type codecEndpoint struct {
+	decl    *ast.FuncDecl
+	writes  map[string]int // width ("16"/"32"/"64") -> PutUintN/AppendUintN calls
+	reads   map[string]int // width -> UintN calls
+	endians map[string]bool
+}
+
+func runCodecSym(pass *Pass) error {
+	byKey := map[string][]*codecEndpoint{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkJSONSplice(pass, fd)
+			ep := collectBinaryCalls(pass, fd)
+			if len(ep.writes) == 0 && len(ep.reads) == 0 {
+				continue
+			}
+			if len(ep.writes) > 0 && len(ep.reads) > 0 {
+				continue // round-trip helper: both sides in one body
+			}
+			key := codecPairKey(fd.Name.Name)
+			byKey[key] = append(byKey[key], ep)
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var enc, dec *codecEndpoint
+		ambiguous := false
+		for _, ep := range byKey[k] {
+			if len(ep.writes) > 0 {
+				if enc != nil {
+					ambiguous = true
+				}
+				enc = ep
+			} else {
+				if dec != nil {
+					ambiguous = true
+				}
+				dec = ep
+			}
+		}
+		if ambiguous || enc == nil || dec == nil {
+			continue // unpaired or ambiguous names: nothing to cross-check
+		}
+		comparePair(pass, enc, dec)
+	}
+	return nil
+}
+
+// comparePair reports per-width count mismatches and byte-order disagreement
+// between an encoder and its decoder.
+func comparePair(pass *Pass, enc, dec *codecEndpoint) {
+	encName, decName := enc.decl.Name.Name, dec.decl.Name.Name
+	for _, width := range []string{"16", "32", "64"} {
+		w, r := enc.writes[width], dec.reads[width]
+		if w != r {
+			pass.Reportf(dec.decl.Pos(),
+				"codec pair %s/%s: encoder writes %d uint%s field(s) but decoder reads %d — the wire formats have drifted",
+				encName, decName, w, width, r)
+		}
+	}
+	for e := range enc.endians {
+		if !dec.endians[e] && len(dec.endians) > 0 {
+			pass.Reportf(dec.decl.Pos(),
+				"codec pair %s/%s: encoder uses binary.%s but decoder does not",
+				encName, decName, e)
+		}
+	}
+}
+
+// codecVerbs are the name prefixes stripped to pair an encoder with its
+// decoder (encodeFoo/decodeFoo, writeFrame/readFrame, Save/read, ...).
+var codecVerbs = []string{
+	"encode", "decode", "parse", "unmarshal", "marshal",
+	"write", "read", "save", "load", "append", "put", "get",
+}
+
+// codecPairKey normalizes a function name to its pairing key: lowercase with
+// one leading codec verb removed.
+func codecPairKey(name string) string {
+	n := strings.ToLower(name)
+	for _, v := range codecVerbs {
+		if strings.HasPrefix(n, v) {
+			return strings.TrimPrefix(n, v)
+		}
+	}
+	return n
+}
+
+// collectBinaryCalls tallies fd's encoding/binary fixed-width calls.
+func collectBinaryCalls(pass *Pass, fd *ast.FuncDecl) *codecEndpoint {
+	ep := &codecEndpoint{
+		decl:    fd,
+		writes:  map[string]int{},
+		reads:   map[string]int{},
+		endians: map[string]bool{},
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		endian, ok := binaryEndian(pass, sel.X)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		switch {
+		case strings.HasPrefix(name, "PutUint"):
+			ep.writes[strings.TrimPrefix(name, "PutUint")]++
+			ep.endians[endian] = true
+		case strings.HasPrefix(name, "AppendUint"):
+			ep.writes[strings.TrimPrefix(name, "AppendUint")]++
+			ep.endians[endian] = true
+		case strings.HasPrefix(name, "Uint"):
+			ep.reads[strings.TrimPrefix(name, "Uint")]++
+			ep.endians[endian] = true
+		}
+		return true
+	})
+	return ep
+}
+
+// binaryEndian reports whether e is encoding/binary's LittleEndian or
+// BigEndian byte-order value, and which.
+func binaryEndian(pass *Pass, e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "LittleEndian" && sel.Sel.Name != "BigEndian" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "encoding/binary" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// spliceMethodRE names the methods subject to the JSON-splice check: the
+// repository's hand-splice entry points (Command.appendJSON,
+// SlotMessage.AppendBody/MarshalJSON and their future siblings).
+var spliceMethodRE = regexp.MustCompile(`(?i)^(appendjson|appendbody|marshaljson)$`)
+
+// jsonKeyRE extracts object keys from spliced string literals: `{"id":` and
+// `,"subs":[` both yield their key.
+var jsonKeyRE = regexp.MustCompile(`"([A-Za-z_][A-Za-z0-9_]*)":`)
+
+// checkJSONSplice verifies a hand-spliced JSON encoder against the json tags
+// of its receiver struct: every tag must be emitted by some literal in the
+// body, and every key the body emits must be a declared tag. Conditional
+// fields (the omitempty pattern) still appear as literals, so the check is
+// purely lexical over the method body.
+func checkJSONSplice(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || !spliceMethodRE.MatchString(fd.Name.Name) {
+		return
+	}
+	tags := receiverJSONTags(pass, fd)
+	if len(tags) == 0 {
+		return
+	}
+	emitted := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		for _, m := range jsonKeyRE.FindAllStringSubmatch(lit.Value, -1) {
+			emitted[m[1]] = true
+		}
+		return true
+	})
+	if len(emitted) == 0 {
+		return // delegating method (e.g. MarshalJSON calling AppendBody)
+	}
+	for _, key := range sortedKeys(emitted) {
+		if !tags[key] {
+			pass.Reportf(fd.Pos(),
+				"%s splices JSON key %q that is not a json tag of %s — the reflective decoder will drop it",
+				fd.Name.Name, key, receiverTypeName(fd))
+		}
+	}
+	for _, tag := range sortedKeys(tags) {
+		if !emitted[tag] {
+			pass.Reportf(fd.Pos(),
+				"%s never splices json tag %q of %s — the field is silently lost on the wire",
+				fd.Name.Name, tag, receiverTypeName(fd))
+		}
+	}
+}
+
+// receiverJSONTags returns the json tag names (or field names, for untagged
+// exported fields) of fd's receiver struct; nil when the receiver is not a
+// struct or carries no json tags at all.
+func receiverJSONTags(pass *Pass, fd *ast.FuncDecl) map[string]bool {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := typeOf(pass, fd.Recv.List[0].Type)
+	if t == nil {
+		if tv := pass.TypesInfo.Defs[receiverIdent(fd)]; tv != nil {
+			t = tv.Type()
+		}
+	}
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	tags := map[string]bool{}
+	tagged := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		tag := jsonTagName(st.Tag(i))
+		if tag == "-" {
+			continue
+		}
+		if tag != "" {
+			tagged = true
+			tags[tag] = true
+		} else {
+			tags[f.Name()] = true
+		}
+	}
+	if !tagged {
+		return nil
+	}
+	return tags
+}
+
+// jsonTagName extracts the key name from a struct tag's json section.
+func jsonTagName(tag string) string {
+	st := reflectStructTag(tag, "json")
+	if st == "" {
+		return ""
+	}
+	if i := strings.IndexByte(st, ','); i >= 0 {
+		st = st[:i]
+	}
+	return st
+}
+
+// reflectStructTag is reflect.StructTag.Get for the one key we need, without
+// importing reflect into the analyzer.
+func reflectStructTag(tag, key string) string {
+	for tag != "" {
+		i := 0
+		for i < len(tag) && tag[i] == ' ' {
+			i++
+		}
+		tag = tag[i:]
+		if tag == "" {
+			break
+		}
+		i = 0
+		for i < len(tag) && tag[i] > ' ' && tag[i] != ':' && tag[i] != '"' {
+			i++
+		}
+		if i == 0 || i+1 >= len(tag) || tag[i] != ':' || tag[i+1] != '"' {
+			break
+		}
+		name := tag[:i]
+		tag = tag[i+1:]
+		i = 1
+		for i < len(tag) && tag[i] != '"' {
+			if tag[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(tag) {
+			break
+		}
+		value := tag[1:i]
+		tag = tag[i+1:]
+		if name == key {
+			out := strings.ReplaceAll(value, `\"`, `"`)
+			return out
+		}
+	}
+	return ""
+}
+
+func receiverIdent(fd *ast.FuncDecl) *ast.Ident {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return fd.Recv.List[0].Names[0]
+}
+
+// receiverTypeName renders fd's receiver type for diagnostics.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "receiver"
+}
+
+// sortedKeys returns m's keys in sorted order (map iteration would make
+// diagnostic order nondeterministic — the suite practices what it preaches).
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

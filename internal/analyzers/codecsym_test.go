@@ -1,0 +1,38 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+// TestCodecSym exercises the encode/decode symmetry checks: per-width count
+// drift, byte-order drift, out-of-order-but-matching encoders, round-trip
+// helpers, JSON splice tag drift, and the //lint:allow escape hatch.
+func TestCodecSym(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/codecsym",
+		"repro/internal/codecfixture", analyzers.CodecSym)
+}
+
+// TestCodecSymCleanOnRealCodecs runs the analyzer over the real codec
+// packages: the wal frame and segment header, the storage snapshot frame,
+// the tcp length prefix and the smr command/slot-message JSON splices must
+// all be symmetric.
+func TestCodecSymCleanOnRealCodecs(t *testing.T) {
+	pkgs, err := analyzers.Load("../..",
+		"repro/internal/wal", "repro/internal/storage",
+		"repro/internal/transport", "repro/internal/smr", "repro/internal/consensus")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analyzers.RunAnalyzer(analyzers.CodecSym, pkg)
+		if err != nil {
+			t.Fatalf("codecsym on %s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unexpected finding: %s", pkg.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

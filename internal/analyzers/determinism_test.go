@@ -23,6 +23,28 @@ func TestDeterminismNonProtocolPackage(t *testing.T) {
 		"repro/internal/bench", analyzers.Determinism)
 }
 
+// TestDeterminismSeededPackage runs the analyzer over a fixture loaded as a
+// seeded package (the chaos/linear tier): clocks and goroutines are the
+// harness's to own, but unseeded global randomness and order-sensitive map
+// iteration still break seed→schedule reproducibility and are flagged.
+func TestDeterminismSeededPackage(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/determinism/seeded",
+		"repro/internal/chaos", analyzers.Determinism)
+}
+
+func TestIsSeededPackage(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/chaos":  true,
+		"repro/internal/linear": true,
+		"repro/internal/core":   false, // full protocol contract, not the seeded subset
+		"repro/internal/bench":  false,
+	} {
+		if got := analyzers.IsSeededPackage(path); got != want {
+			t.Errorf("IsSeededPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
 func TestIsProtocolPackage(t *testing.T) {
 	for path, want := range map[string]bool{
 		"repro/internal/core":      true,

@@ -1,0 +1,248 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ErrTaxonomy enforces the error-taxonomy contract around the client outcome
+// sentinels (ErrRejected, ErrMaybeApplied, ErrNotFound), the transport
+// backpressure sentinels (ErrQueueFull, ErrClosed, ErrOversize) and the WAL
+// recovery sentinels (ErrTorn, ErrCorrupt):
+//
+//   - sentinels are matched with errors.Is, never == or != — every layer
+//     wraps (%w) the layer below, so identity comparison silently stops
+//     matching the moment a wrap is added;
+//   - error text is never string-matched (strings.Contains(err.Error(), ...)
+//     or err.Error() == "...") — messages are documentation, not API;
+//   - the error of a persist/send hot-path call (transport Send, WAL
+//     Append/Sync/Commit, storage Save) is never discarded as a bare
+//     statement. A deliberate drop must be written `_ = call(...)` so the
+//     decision is visible and greppable.
+//
+// The one legitimate home for == on a sentinel is an Is method implementing
+// the errors.Is protocol itself (smr's outcomeError); those are exempt.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc: "compare sentinel errors with errors.Is (never == or string match) " +
+		"and never discard persist/send hot-path errors as bare statements",
+	Run: runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inIs := fd.Name.Name == "Is"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					checkSentinelCompare(pass, n, inIs)
+				case *ast.SwitchStmt:
+					checkSentinelSwitch(pass, n, inIs)
+				case *ast.CallExpr:
+					checkErrorTextMatch(pass, n)
+				case *ast.ExprStmt:
+					checkDiscardedHotPathError(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// sentinelNameRE matches the naming convention for sentinel errors.
+var sentinelNameRE = regexp.MustCompile(`^Err[A-Z]`)
+
+// isSentinelError reports whether e resolves to a package-level error
+// variable following the ErrXxx naming convention — ours or the standard
+// library's (io.EOF is deliberately not matched: its == comparison contract
+// predates errors.Is and the Reader interface documents it).
+func isSentinelError(pass *Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !sentinelNameRE.MatchString(v.Name()) {
+		return false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return false // local variable that happens to be named ErrSomething
+	}
+	return types.Implements(v.Type(), errorInterface())
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+// checkSentinelCompare flags err == ErrSentinel / err != ErrSentinel.
+func checkSentinelCompare(pass *Pass, b *ast.BinaryExpr, inIs bool) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if inIs {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if isSentinelError(pass, side) {
+			pass.Reportf(b.Pos(),
+				"sentinel compared with %s: wrapped errors (%%w) never match identity — use errors.Is(err, %s)",
+				b.Op, exprString(side))
+			return
+		}
+	}
+	checkErrorTextCompare(pass, b)
+}
+
+// checkSentinelSwitch flags `switch err { case ErrSentinel: ... }`, which is
+// identity comparison in disguise.
+func checkSentinelSwitch(pass *Pass, s *ast.SwitchStmt, inIs bool) {
+	if inIs || s.Tag == nil {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if isSentinelError(pass, e) {
+				pass.Reportf(e.Pos(),
+					"switch case compares sentinel %s by identity: wrapped errors never match — use a switch on errors.Is results or an if/else chain",
+					exprString(e))
+			}
+		}
+	}
+}
+
+// stringMatchFuncs are the strings-package predicates that, applied to
+// err.Error(), turn an error message into load-bearing API.
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true,
+}
+
+// checkErrorTextMatch flags strings.Contains(err.Error(), ...) and friends.
+func checkErrorTextMatch(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !stringMatchFuncs[sel.Sel.Name] {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	for _, arg := range call.Args {
+		if errCall := errorTextCall(pass, arg); errCall != nil {
+			pass.Reportf(call.Pos(),
+				"matching on err.Error() text: messages are not API and change freely — export a sentinel and use errors.Is (or errors.As for typed errors)")
+			return
+		}
+	}
+}
+
+// checkErrorTextCompare flags err.Error() == "..." comparisons.
+func checkErrorTextCompare(pass *Pass, b *ast.BinaryExpr) {
+	if errorTextCall(pass, b.X) != nil || errorTextCall(pass, b.Y) != nil {
+		pass.Reportf(b.Pos(),
+			"comparing err.Error() text: messages are not API and change freely — export a sentinel and use errors.Is")
+	}
+}
+
+// errorTextCall returns the err.Error() call inside e, if any.
+func errorTextCall(pass *Pass, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+			return true
+		}
+		if t := typeOf(pass, sel.X); t != nil && types.Implements(t, errorInterface()) {
+			found = call
+		}
+		return true
+	})
+	return found
+}
+
+// checkDiscardedHotPathError flags a bare statement discarding the error of
+// a persist/send hot-path call. `_ = call(...)` stays legal: the explicit
+// blank assignment is the repository's marker for a considered drop (the
+// outbox consumer does this — Send is allowed to fail, drops are counted by
+// the transport).
+func checkDiscardedHotPathError(pass *Pass, s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if what := hotPathErrorCall(pass, sel); what != "" {
+		pass.Reportf(s.Pos(),
+			"%s error discarded: a failed persist/send must be observed (handle it, or write `_ = ...` to mark a considered drop)",
+			what)
+	}
+}
+
+// hotPathErrorCall classifies sel as a watched persist/send operation whose
+// error return is load-bearing.
+func hotPathErrorCall(pass *Pass, sel *ast.SelectorExpr) string {
+	// Package functions: storage.Save is the snapshot persist entry point.
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			if fn.Name() == "Save" && strings.HasSuffix(fn.Pkg().Path(), "internal/storage") {
+				return "storage.Save"
+			}
+		}
+	}
+	t := typeOf(pass, sel.X)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	switch sel.Sel.Name {
+	case "Send":
+		if strings.HasSuffix(path, "internal/transport") {
+			return "transport " + obj.Name() + ".Send"
+		}
+	case "Append", "AppendBuffered", "Sync", "Commit":
+		if strings.HasSuffix(path, "internal/wal") && obj.Name() == "WAL" {
+			return "WAL " + sel.Sel.Name
+		}
+	}
+	return ""
+}

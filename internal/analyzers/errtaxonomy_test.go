@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+// TestErrTaxonomy exercises the error-taxonomy checks: == and switch-case
+// identity comparison of ErrXxx sentinels, err.Error() text matching, and
+// bare discards of persist/send hot-path errors; errors.Is chains, Is
+// methods, io.EOF, message rendering and explicit `_ =` drops pass.
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/errtaxonomy",
+		"repro/internal/errfixture", analyzers.ErrTaxonomy)
+}

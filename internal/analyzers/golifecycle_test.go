@@ -1,0 +1,24 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+// TestGoLifecycleHostPackage runs the analyzer over a fixture loaded as a
+// host package: WaitGroup accounting, done-channel closes, channel
+// receives/ranges (directly or one call level down) pass; fire-and-forget
+// spawns and cross-package bodies are flagged.
+func TestGoLifecycleHostPackage(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/golifecycle/host",
+		"repro/internal/smr", analyzers.GoLifecycle)
+}
+
+// TestGoLifecycleNonHostPackage loads an untied goroutine as a non-host
+// package, where the shutdown contract does not apply.
+func TestGoLifecycleNonHostPackage(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/golifecycle/nonhost",
+		"repro/internal/bench", analyzers.GoLifecycle)
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one parsed and type-checked package ready for analysis.
@@ -35,7 +36,42 @@ type listedPackage struct {
 	GoFiles    []string
 	Standard   bool
 	Incomplete bool
+	DepOnly    bool
 	Error      *struct{ Err string }
+}
+
+// exportCache memoizes import path → compiled export-data file across every
+// Load/LoadDir in the process, so a test binary that loads the module once
+// per analyzer pays for `go list -deps -export` once, not nine times. Export
+// files live in the build cache and are content-addressed, so entries stay
+// valid for the life of the process even if sources change underneath.
+var (
+	exportCacheMu sync.Mutex
+	exportCache   = map[string]string{}
+)
+
+// cacheExports merges the export files of pkgs into the process-wide cache.
+func cacheExports(pkgs []listedPackage) {
+	exportCacheMu.Lock()
+	defer exportCacheMu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportCache[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// missingExports returns the subset of paths not yet in the cache.
+func missingExports(paths []string) []string {
+	exportCacheMu.Lock()
+	defer exportCacheMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	return missing
 }
 
 // goList runs the go command in dir and decodes its -json package stream.
@@ -62,30 +98,29 @@ func goList(dir string, args ...string) ([]listedPackage, error) {
 	return pkgs, nil
 }
 
-// exportIndex resolves the transitive dependencies of patterns and returns a
-// map from import path to compiled export-data file, used to type-check
-// against precompiled imports without golang.org/x/tools.
-func exportIndex(dir string, patterns []string) (map[string]string, error) {
+// exportIndex resolves the transitive dependencies of patterns into the
+// process-wide export cache, used to type-check against precompiled imports
+// without golang.org/x/tools.
+func exportIndex(dir string, patterns []string) error {
 	args := append([]string{"list", "-e", "-deps", "-export",
 		"-json=ImportPath,Export,Standard"}, patterns...)
 	pkgs, err := goList(dir, args...)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	exports := make(map[string]string, len(pkgs))
-	for _, p := range pkgs {
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
-		}
-	}
-	return exports, nil
+	cacheExports(pkgs)
+	return nil
 }
 
 // newExportImporter returns a types.Importer that reads gc export data from
-// the files recorded in exports.
-func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+// the files recorded in the process-wide export cache. Callers must have
+// populated the cache (Load's -deps listing, or exportIndex) for every
+// import the checked files can reach.
+func newExportImporter(fset *token.FileSet) types.Importer {
 	lookup := func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
+		exportCacheMu.Lock()
+		file, ok := exportCache[path]
+		exportCacheMu.Unlock()
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
@@ -109,22 +144,26 @@ func newTypesInfo() *types.Info {
 // resolving imports through compiled export data (`go list -export`), so it
 // works offline and without golang.org/x/tools. Non-module (standard library)
 // packages named by patterns are resolved as dependencies but not analyzed.
+//
+// One `go list -deps -export` call serves double duty: packages with DepOnly
+// unset are the targets to analyze, and the whole listing (targets plus
+// transitive dependencies) feeds the export cache the type-checker imports
+// through. The loader used to make two go invocations per Load — targets,
+// then the dependency index — which doubled the dominant cost of running the
+// suite; see docs/ANALYZERS.md.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	args := append([]string{"list", "-export",
-		"-json=ImportPath,Export,Dir,GoFiles,Standard,Incomplete,Error"}, patterns...)
-	targets, err := goList(dir, args...)
+	args := append([]string{"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Export,Dir,GoFiles,Standard,Incomplete,DepOnly,Error"}, patterns...)
+	listed, err := goList(dir, args...)
 	if err != nil {
 		return nil, err
 	}
-	exports, err := exportIndex(dir, patterns)
-	if err != nil {
-		return nil, err
-	}
+	cacheExports(listed)
 	fset := token.NewFileSet()
-	imp := newExportImporter(fset, exports)
+	imp := newExportImporter(fset)
 	var out []*Package
-	for _, t := range targets {
-		if t.Standard {
+	for _, t := range listed {
+		if t.Standard || t.DepOnly {
 			continue
 		}
 		if t.Error != nil {
@@ -175,14 +214,15 @@ func LoadDir(moduleDir, fixtureDir, asPath string) (*Package, error) {
 		patterns = append(patterns, p)
 	}
 	sort.Strings(patterns)
-	exports := map[string]string{}
-	if len(patterns) > 0 {
-		exports, err = exportIndex(moduleDir, patterns)
-		if err != nil {
+	// Only list imports the cache has not seen: exportIndex always records
+	// the full -deps closure, so a cached direct import implies its
+	// transitive dependencies are cached too.
+	if missing := missingExports(patterns); len(missing) > 0 {
+		if err := exportIndex(moduleDir, missing); err != nil {
 			return nil, err
 		}
 	}
-	imp := newExportImporter(fset, exports)
+	imp := newExportImporter(fset)
 	names := make([]string, 0, len(files))
 	for _, f := range files {
 		names = append(names, fset.Position(f.Pos()).Filename)

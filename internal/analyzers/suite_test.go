@@ -7,15 +7,18 @@ import (
 )
 
 // TestSuiteRegistersAllAnalyzers pins the acceptance criterion that the
-// protolint multichecker ships at least the four documented analyzers, each
-// with a unique name and documentation.
+// protolint multichecker ships both analyzer generations — the syntactic
+// checks from PR 1 and the dataflow checks (codecsym, atomicguard,
+// golifecycle, errtaxonomy) — each with a unique name and documentation.
 func TestSuiteRegistersAllAnalyzers(t *testing.T) {
 	suite := analyzers.Suite()
-	if len(suite) < 4 {
-		t.Fatalf("Suite() registered %d analyzers, want at least 4", len(suite))
+	if len(suite) < 9 {
+		t.Fatalf("Suite() registered %d analyzers, want at least 9", len(suite))
 	}
 	want := map[string]bool{
 		"determinism": false, "quorumarith": false, "lockguard": false, "msgswitch": false,
+		"iolock": false, "codecsym": false, "atomicguard": false, "golifecycle": false,
+		"errtaxonomy": false,
 	}
 	seen := map[string]bool{}
 	for _, a := range suite {
@@ -41,12 +44,14 @@ func TestSuiteRegistersAllAnalyzers(t *testing.T) {
 // full suite against a real module package that must be lint-clean — the
 // same green-at-merge property `make lint` enforces over the whole tree.
 func TestSuiteCleanOnQuorumPackage(t *testing.T) {
-	pkgs, err := analyzers.Load("../..", "repro/internal/quorum", "repro/internal/lowerbound")
+	// internal/analyzers is loaded too: the suite must hold on itself.
+	pkgs, err := analyzers.Load("../..", "repro/internal/quorum",
+		"repro/internal/lowerbound", "repro/internal/analyzers")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if len(pkgs) != 2 {
-		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	if len(pkgs) != 3 {
+		t.Fatalf("Load returned %d packages, want 3", len(pkgs))
 	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers.Suite() {

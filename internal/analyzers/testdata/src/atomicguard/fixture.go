@@ -1,0 +1,65 @@
+// Fixture for the atomicguard analyzer: a field accessed through
+// sync/atomic anywhere must be accessed through it everywhere, and the
+// sync/atomic wrapper types must not be copied by value.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	sends   uint64
+	drops   uint64
+	depth   int64
+	plain   uint64 // never touched atomically: plain access stays fine
+	gauge   atomic.Uint64
+	pending atomic.Int64
+}
+
+func (s *stats) recordSend() {
+	atomic.AddUint64(&s.sends, 1)
+	atomic.AddInt64(&s.depth, 1)
+}
+
+func (s *stats) recordDrop() {
+	atomic.AddUint64(&s.drops, 1)
+}
+
+func (s *stats) snapshot() (uint64, uint64, int64) {
+	return atomic.LoadUint64(&s.sends),
+		atomic.LoadUint64(&s.drops),
+		atomic.LoadInt64(&s.depth)
+}
+
+// A mixed access: the same fields the atomics guard, touched plainly.
+func (s *stats) reset() {
+	s.sends = 0 // want "field sends is accessed via sync/atomic elsewhere"
+	s.drops++   // want "field drops is accessed via sync/atomic elsewhere"
+}
+
+func (s *stats) observe() uint64 {
+	return s.sends // want "field sends is accessed via sync/atomic elsewhere"
+}
+
+// plain is only ever accessed plainly; no finding.
+func (s *stats) bumpPlain() {
+	s.plain++
+}
+
+// Wrapper types are safe through their methods and by address.
+func (s *stats) useWrappers() {
+	s.gauge.Add(1)
+	s.pending.Store(int64(s.gauge.Load()))
+	p := &s.gauge
+	p.Add(1)
+}
+
+// Copying a wrapper forks the counter.
+func (s *stats) copyWrapper() uint64 {
+	g := s.gauge // want "copying a sync/atomic value forks the counter"
+	return g.Load()
+}
+
+// Suppressed mixed access: initialization before the struct is shared.
+func (s *stats) init() {
+	//lint:allow atomicguard constructor runs before the struct is shared
+	s.sends = 0
+}

@@ -1,0 +1,126 @@
+// Fixture for the codecsym analyzer: encode/decode pairs must agree on the
+// fixed-width fields they write and read, and hand-spliced JSON must emit
+// exactly the receiver struct's json tags.
+package fixture
+
+import (
+	"encoding/binary"
+)
+
+// A matched pair: same widths, same counts, same byte order. The decoder
+// reads the index from a body-relative offset (like wal.DecodeRecord), so
+// only counts — not offsets — are compared.
+func encodeGood(index uint64, payload []byte) []byte {
+	buf := make([]byte, 16+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], index)
+	binary.LittleEndian.PutUint32(buf[4:8], 0xdead)
+	return buf
+}
+
+func decodeGood(b []byte) (uint64, []byte) {
+	_ = binary.LittleEndian.Uint32(b[0:4])
+	_ = binary.LittleEndian.Uint32(b[4:8])
+	index := binary.LittleEndian.Uint64(b[8:16])
+	return index, b[16:]
+}
+
+// Drifted pair: the encoder grew a uint64 field the decoder never learned
+// about.
+func encodeDrift(index uint64, epoch uint64) []byte {
+	buf := make([]byte, 20)
+	binary.LittleEndian.PutUint32(buf[0:4], 16)
+	binary.LittleEndian.PutUint64(buf[4:12], index)
+	binary.LittleEndian.PutUint64(buf[12:20], epoch)
+	return buf
+}
+
+func decodeDrift(b []byte) uint64 { // want "encoder writes 2 uint64 field\\(s\\) but decoder reads 1"
+	_ = binary.LittleEndian.Uint32(b[0:4])
+	return binary.LittleEndian.Uint64(b[4:12])
+}
+
+// Byte-order drift: one side little-endian, the other big-endian.
+func encodeOrder(v uint32) []byte {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, v)
+	return buf
+}
+
+func decodeOrder(b []byte) uint32 { // want "encoder uses binary.LittleEndian but decoder does not"
+	return binary.BigEndian.Uint32(b)
+}
+
+// A round-trip helper touches both directions in one body and is no one's
+// pairing partner.
+func roundTripScratch(v uint64) uint64 {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, v)
+	return binary.LittleEndian.Uint64(buf)
+}
+
+// An unpaired writer (a header stamp with no reader in this package) is not
+// reported.
+func writeStamp(buf []byte) {
+	binary.LittleEndian.PutUint32(buf, 7)
+}
+
+// Suppression: a deliberately asymmetric pair (the decoder skips a reserved
+// field) carries //lint:allow codecsym.
+func encodeReserved(v uint32) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[0:4], v)
+	binary.LittleEndian.PutUint32(buf[4:8], 0)
+	return buf
+}
+
+//lint:allow codecsym reserved trailing field is intentionally unread
+func decodeReserved(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b[0:4])
+}
+
+// JSON splice checks: the emitted keys must be exactly the json tags.
+type wireCmd struct {
+	ID  string `json:"id"`
+	Op  string `json:"op"`
+	Key string `json:"key,omitempty"`
+}
+
+// A faithful splice: every tag appears (conditionally is fine), nothing else.
+func (c wireCmd) AppendBody(dst []byte) []byte {
+	dst = append(dst, `{"id":"`...)
+	dst = append(dst, c.ID...)
+	dst = append(dst, `","op":"`...)
+	dst = append(dst, c.Op...)
+	if c.Key != "" {
+		dst = append(dst, `","key":"`...)
+		dst = append(dst, c.Key...)
+	}
+	return append(dst, `"}`...)
+}
+
+type driftCmd struct {
+	ID  string `json:"id"`
+	Op  string `json:"op"`
+	Val string `json:"val"`
+}
+
+func (c driftCmd) appendJSON(dst []byte) []byte { // want "appendJSON splices JSON key \"ops\" that is not a json tag of driftCmd" "appendJSON never splices json tag \"op\" of driftCmd" "appendJSON never splices json tag \"val\" of driftCmd"
+	dst = append(dst, `{"id":"`...)
+	dst = append(dst, c.ID...)
+	dst = append(dst, `","ops":"`...)
+	dst = append(dst, c.Op...)
+	return append(dst, `"}`...)
+}
+
+// A method whose receiver has no json tags is out of scope even when it
+// splices key-shaped literals.
+type untagged struct {
+	Name string
+}
+
+func (u untagged) AppendBody(dst []byte) []byte {
+	dst = append(dst, `{"name":"`...)
+	dst = append(dst, u.Name...)
+	return append(dst, `"}`...)
+}

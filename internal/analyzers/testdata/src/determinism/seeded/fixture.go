@@ -1,0 +1,63 @@
+// Fixture for the determinism analyzer's seeded tier (internal/chaos,
+// internal/linear): the packages own clocks and goroutines — they drive the
+// system under test — but a seed must still fully determine the schedule
+// and the verdict, so unseeded global randomness and order-sensitive map
+// iteration are flagged.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clocks and goroutines are the harness's job: allowed here, banned only in
+// protocol packages.
+func drive() time.Time {
+	go func() {}()
+	return time.Now()
+}
+
+// The global rand source is unseeded: two runs with the same scenario seed
+// would diverge.
+func pickUnseeded(n int) int {
+	return rand.Intn(n) // want "unseeded global source"
+}
+
+// A seeded generator threads the scenario seed through: reproducible.
+func pickSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Collecting map keys without sorting leaks map order into the schedule.
+func restartOrder(down map[int]bool) []int {
+	var ids []int
+	for id := range down { // want "never sorted"
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func restartOrderSorted(down map[int]bool) []int {
+	var ids []int
+	for id := range down {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// A nested range whose effects land only in a map is order-insensitive:
+// partition tables are built exactly like this (chaos/faults.go).
+func blockPairs(groups map[int]int) map[[2]int]bool {
+	blocked := map[[2]int]bool{}
+	for a, ga := range groups {
+		for b, gb := range groups {
+			if a != b && ga != gb {
+				blocked[[2]int{a, b}] = true
+			}
+		}
+	}
+	return blocked
+}

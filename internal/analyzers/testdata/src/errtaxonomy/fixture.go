@@ -1,0 +1,118 @@
+// Fixture for the errtaxonomy analyzer: sentinels are matched with
+// errors.Is, error text is never string-matched, and persist/send hot-path
+// errors are never discarded as bare statements.
+package fixture
+
+import (
+	"errors"
+	"io"
+	"strings"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// ErrLocal is a package-level sentinel of this fixture.
+var ErrLocal = errors.New("fixture: local failure")
+
+func classifyRight(err error) string {
+	switch {
+	case errors.Is(err, smr.ErrRejected):
+		return "rejected"
+	case errors.Is(err, smr.ErrMaybeApplied):
+		return "ambiguous"
+	case errors.Is(err, ErrLocal):
+		return "local"
+	}
+	return "other"
+}
+
+func classifyWrong(err error) string {
+	if err == smr.ErrRejected { // want "use errors.Is\\(err, smr.ErrRejected\\)"
+		return "rejected"
+	}
+	if err != wal.ErrTorn { // want "use errors.Is\\(err, wal.ErrTorn\\)"
+		return "not-torn"
+	}
+	if err == ErrLocal { // want "use errors.Is\\(err, ErrLocal\\)"
+		return "local"
+	}
+	return "other"
+}
+
+func classifySwitch(err error) string {
+	switch err {
+	case smr.ErrMaybeApplied: // want "switch case compares sentinel smr.ErrMaybeApplied by identity"
+		return "ambiguous"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// io.EOF predates errors.Is and documents identity comparison; it is not a
+// sentinel under the ErrXxx convention.
+func drainOK(err error) bool {
+	return err == io.EOF
+}
+
+// An Is method implements the errors.Is protocol itself: identity
+// comparison against sentinels is its job.
+type outcome struct{ cause error }
+
+func (o *outcome) Error() string { return o.cause.Error() }
+
+func (o *outcome) Is(target error) bool {
+	switch target {
+	case smr.ErrRejected:
+		return true
+	}
+	return target == ErrLocal
+}
+
+func matchByText(err error) bool {
+	return strings.Contains(err.Error(), "not found") // want "matching on err.Error\\(\\) text"
+}
+
+func compareByText(err error) bool {
+	return err.Error() == "fixture: local failure" // want "comparing err.Error\\(\\) text"
+}
+
+// Rendering a message is fine — only matching on it is load-bearing.
+func render(err error) string {
+	return "ERR " + err.Error()
+}
+
+type host struct {
+	tr transport.Transport
+	w  *wal.WAL
+}
+
+func (h *host) forwardDropped(m consensus.Message) {
+	h.tr.Send(1, m) // want "transport Transport.Send error discarded"
+}
+
+func (h *host) forwardConsidered(m consensus.Message) {
+	_ = h.tr.Send(1, m) // explicit considered drop: the transport counts it
+}
+
+func (h *host) persistDropped(p []byte) {
+	h.w.Append(p) // want "WAL Append error discarded"
+	h.w.Sync()    // want "WAL Sync error discarded"
+	h.w.Commit(1) // want "WAL Commit error discarded"
+}
+
+func (h *host) persistHandled(p []byte) error {
+	if _, err := h.w.Append(p); err != nil {
+		return err
+	}
+	return h.w.Sync()
+}
+
+// Suppressed: a shutdown path where the transport may already be gone.
+func (h *host) closeNotify(m consensus.Message) {
+	//lint:allow errtaxonomy best-effort farewell on an already-closing link
+	h.tr.Send(1, m)
+}

@@ -1,0 +1,101 @@
+// Fixture for the golifecycle analyzer, loaded as a host package: every go
+// statement must spawn a goroutine tied to a shutdown mechanism.
+package fixture
+
+import (
+	"fmt"
+	"sync"
+)
+
+type worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	in   chan int
+	stop chan struct{}
+}
+
+// WaitGroup accounting, directly in the spawned literal.
+func (w *worker) startAccounted() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		work()
+	}()
+}
+
+// A done channel closed by the goroutine: Close waits by receiving from it.
+func (w *worker) startSignalled() {
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	defer close(w.done)
+	work()
+}
+
+// Range over a channel: the goroutine ends when the producer closes it.
+func (w *worker) startDraining() {
+	go func() {
+		for v := range w.in {
+			_ = v
+		}
+	}()
+}
+
+// Terminating on a receive (the select-on-done pattern).
+func (w *worker) startSelecting() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case v := <-w.in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Evidence one call level down: the literal delegates to an accounted
+// method.
+func (w *worker) startWrapped() {
+	w.wg.Add(1)
+	go func() {
+		w.accountedBody()
+	}()
+}
+
+func (w *worker) accountedBody() {
+	defer w.wg.Done()
+	work()
+}
+
+// Fire-and-forget: nothing ties the goroutine to shutdown.
+func (w *worker) startLeaky() {
+	go w.leakyLoop() // want "not tied to any shutdown mechanism"
+}
+
+func (w *worker) leakyLoop() {
+	for {
+		work()
+	}
+}
+
+func (w *worker) startLeakyLit() {
+	go func() { // want "not tied to any shutdown mechanism"
+		work()
+	}()
+}
+
+// A goroutine whose body lives in another package cannot be verified.
+func (w *worker) startForeign() {
+	go fmt.Println("spawned") // want "outside this package"
+}
+
+// Deliberate process-lifetime goroutine, suppressed.
+func (w *worker) startForLife() {
+	//lint:allow golifecycle lives for the process, reaped at exit
+	go w.leakyLoop()
+}
+
+func work() {}

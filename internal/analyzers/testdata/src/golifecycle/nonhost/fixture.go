@@ -1,0 +1,11 @@
+// Fixture for the golifecycle analyzer, loaded as a non-host package: the
+// shutdown contract applies only to the goroutine-owning host layers, so an
+// untied goroutine here is not reported.
+package fixture
+
+func spawnUnchecked() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -150,6 +151,9 @@ func (c *cluster) ensureUp() error {
 	for i := range c.down {
 		downs = append(downs, i)
 	}
+	// Restart in replica order, not map order: the recovery interleaving is
+	// part of the schedule a seed promises to reproduce.
+	sort.Ints(downs)
 	c.mu.Unlock()
 	for _, i := range downs {
 		if err := c.restart(i); err != nil {

@@ -35,6 +35,12 @@ type batcher struct {
 	closed   bool
 	batches  uint64 // consensus instances submitted
 	cmds     uint64 // commands carried by them
+
+	// wg accounts every flusher goroutine. Add happens under mu alongside
+	// the closed check, so close() — which sets closed under mu and then
+	// waits — either sees the Add or prevents the spawn; flushers that slip
+	// in after close would otherwise touch a replica being torn down.
+	wg sync.WaitGroup
 }
 
 // newBatcher builds a batcher with the given accumulation window and
@@ -114,12 +120,14 @@ func (b *batcher) executeBatched(ctx context.Context, cmd Command) error {
 			// accumulate during the flush is the drain loop spawned.
 			inline = true
 		} else {
+			b.wg.Add(1)
 			go b.flushAfter(b.window)
 		}
 	} else if full && !b.adaptive {
 		// Flush immediately by signalling with a zero-delay flusher; the
 		// in-flight timer flush will find nothing left. (The adaptive loop
 		// splits oversize queues by itself.)
+		b.wg.Add(1)
 		go b.flushAfter(0)
 	}
 	b.mu.Unlock()
@@ -140,6 +148,7 @@ func (b *batcher) executeBatched(ctx context.Context, cmd Command) error {
 // accumulate behind it and form the next chunk — the adaptive window is
 // exactly the in-flight commit's duration.
 func (b *batcher) flushLoop() {
+	defer b.wg.Done()
 	var woke int
 	var lastFlush time.Duration
 	for {
@@ -202,6 +211,8 @@ func (b *batcher) flushFirst() {
 	more := len(b.pending) > 0 && !b.closed
 	if !more {
 		b.flushing = false
+	} else {
+		b.wg.Add(1)
 	}
 	b.mu.Unlock()
 	if more {
@@ -212,6 +223,7 @@ func (b *batcher) flushFirst() {
 // flushAfter waits for the window and replicates everything pending, split
 // into maxSize chunks.
 func (b *batcher) flushAfter(window time.Duration) {
+	defer b.wg.Done()
 	if window > 0 {
 		time.Sleep(window)
 	}
@@ -264,14 +276,19 @@ func (b *batcher) flushOne(cmds []Command, waiters []chan error) {
 	}
 }
 
-// close fails the queued waiters; chunks already detached by an in-flight
-// flush report their own outcome.
+// close fails the queued waiters and waits for every flusher goroutine to
+// exit; chunks already detached by an in-flight flush report their own
+// outcome (the replica is marked closed before close is called, so those
+// flushes fail fast in Execute). Waiting outside b.mu is essential: an
+// in-flight flusher takes the lock to detach its chunk or park, and must
+// not deadlock against its own reaper.
 func (b *batcher) close() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.closed = true
 	for _, ch := range b.waiters {
 		ch <- ErrClosed
 	}
 	b.pending, b.waiters = nil, nil
+	b.mu.Unlock()
+	b.wg.Wait()
 }

@@ -1,0 +1,38 @@
+package smr
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBatcherCloseWaitsForFlushers pins the golifecycle fix: close must not
+// return while a flusher goroutine is still running, because the caller
+// (Replica.Close) proceeds to tear down the WAL and transport the flusher
+// would then touch. Before the fix, close returned immediately and the
+// window flusher kept running into the teardown.
+func TestBatcherCloseWaitsForFlushers(t *testing.T) {
+	const window = 100 * time.Millisecond
+	b := newBatcher(nil, window, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the submitter should give up immediately; the flusher stays
+	if err := b.executeBatched(ctx, Command{Op: OpNoop, ID: "probe"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("executeBatched = %v, want context.Canceled", err)
+	}
+
+	// The spawned flushAfter sleeps for the full window; close must block
+	// until it has exited (it wakes to find close emptied the queue, so the
+	// nil replica is never touched).
+	start := time.Now()
+	b.close()
+	if elapsed := time.Since(start); elapsed < window/2 {
+		t.Fatalf("close returned after %v with a flusher still sleeping on a %v window", elapsed, window)
+	}
+
+	// Closed batcher rejects new work without spawning anything.
+	if err := b.executeBatched(context.Background(), Command{Op: OpNoop, ID: "late"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("executeBatched after close = %v, want ErrClosed", err)
+	}
+}

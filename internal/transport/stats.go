@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/consensus"
 )
@@ -122,49 +123,53 @@ func (s Stats) String() string {
 
 // counters is the mutable tally behind Stats snapshots. The zero value is
 // ready to use; all methods are safe for concurrent use.
+//
+// The scalar counts are sync/atomic wrappers, not mutex-guarded fields: the
+// happy path bumps them once per Send and once per wire write, from every
+// sender goroutine and every per-peer writer at once, and a shared Mutex
+// there serializes exactly the goroutines the per-peer queues exist to
+// decouple. Only the two drop-breakdown maps keep the lock, and they sit on
+// the drop path, which is off the hot path by definition. The atomicguard
+// analyzer holds every access to the atomic discipline. A snapshot is
+// consequently not a cross-counter atomic cut — sends and bytesSent may
+// disagree by the handful of operations in flight — which Stats tolerates:
+// it feeds logs and expvar, not invariants.
 type counters struct {
-	mu         sync.Mutex
-	enqueued   uint64
-	sends      uint64
-	drops      uint64
-	reconnects uint64
-	bytesSent  uint64
-	bytesRecv  uint64
-	queueDepth int
-	byCause    map[DropCause]uint64
-	byPeer     map[consensus.ProcessID]uint64
+	enqueued   atomic.Uint64
+	sends      atomic.Uint64
+	drops      atomic.Uint64
+	reconnects atomic.Uint64
+	bytesSent  atomic.Uint64
+	bytesRecv  atomic.Uint64
+	queueDepth atomic.Int64
+
+	mu      sync.Mutex // guards byCause and byPeer only
+	byCause map[DropCause]uint64
+	byPeer  map[consensus.ProcessID]uint64
 }
 
 func (c *counters) enqueue() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.enqueued++
-	c.queueDepth++
+	c.enqueued.Add(1)
+	c.queueDepth.Add(1)
 }
 
 func (c *counters) dequeue() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.queueDepth--
+	c.queueDepth.Add(-1)
 }
 
 func (c *counters) sent(bytes int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.sends++
-	c.bytesSent += uint64(bytes)
+	c.sends.Add(1)
+	c.bytesSent.Add(uint64(bytes))
 }
 
 func (c *counters) received(bytes int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.bytesRecv += uint64(bytes)
+	c.bytesRecv.Add(uint64(bytes))
 }
 
 func (c *counters) drop(cause DropCause, peer consensus.ProcessID) {
+	c.drops.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.drops++
 	if c.byCause == nil {
 		c.byCause = make(map[DropCause]uint64)
 	}
@@ -176,23 +181,21 @@ func (c *counters) drop(cause DropCause, peer consensus.ProcessID) {
 }
 
 func (c *counters) reconnect() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.reconnects++
+	c.reconnects.Add(1)
 }
 
 func (c *counters) snapshot() Stats {
+	s := Stats{
+		Enqueued:   c.enqueued.Load(),
+		Sends:      c.sends.Load(),
+		Drops:      c.drops.Load(),
+		Reconnects: c.reconnects.Load(),
+		BytesSent:  c.bytesSent.Load(),
+		BytesRecv:  c.bytesRecv.Load(),
+		QueueDepth: int(c.queueDepth.Load()),
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := Stats{
-		Enqueued:   c.enqueued,
-		Sends:      c.sends,
-		Drops:      c.drops,
-		Reconnects: c.reconnects,
-		BytesSent:  c.bytesSent,
-		BytesRecv:  c.bytesRecv,
-		QueueDepth: c.queueDepth,
-	}
 	if len(c.byCause) > 0 {
 		s.DropsByCause = make(map[DropCause]uint64, len(c.byCause))
 		for k, v := range c.byCause {
