@@ -62,6 +62,7 @@ fuzz:
 	$(GO) test ./internal/wal -run=NONE -fuzz=FuzzRecordCodec -fuzztime=30s
 	$(GO) test ./internal/transport -run=NONE -fuzz=FuzzFrameRoundTrip -fuzztime=30s
 	$(GO) test ./internal/storage -run=NONE -fuzz=FuzzSnapshotRoundTrip -fuzztime=30s
+	$(GO) test ./internal/smr -run=NONE -fuzz=FuzzSessionFrameRoundTrip -fuzztime=30s
 
 # Crash-injection suite: torn writes, failpoints mid-record, kill-and-restart
 # recovery — see docs/DURABILITY.md.

@@ -36,6 +36,8 @@ func run() error {
 		outPath  = flag.String("out", "", "also write the report to this file")
 		csvDir   = flag.String("csv", "", "also write each experiment as <dir>/<ID>.csv")
 		f4JSON   = flag.String("f4-json", "", "run F4b and write its machine-readable report to this file (BENCH_F4.json)")
+		f7JSON   = flag.String("f7-json", "", "run F7 and write its machine-readable report to this file (BENCH_F7.json)")
+		pipeline = flag.Int("pipeline", 0, "session-client in-flight depth for F7's deep rows (0 = default 16)")
 	)
 	flag.Parse()
 
@@ -62,6 +64,11 @@ func run() error {
 		time.Now().UTC().Format(time.RFC3339))
 
 	exps := bench.Experiments(*soakRuns)
+	// -pipeline applies wherever F7 runs, selected or not.
+	exps["F7"] = func() *bench.Result {
+		res, _ := bench.Sessions(*pipeline)
+		return res
+	}
 	ids := bench.ExperimentIDs()
 	if *expFlag != "" {
 		var sel []string
@@ -95,6 +102,30 @@ func run() error {
 		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, "F4b", res); err != nil {
+				return err
+			}
+		}
+	}
+	if *f7JSON != "" {
+		// Same arrangement as -f4-json: F7 runs once, report captured.
+		var kept []string
+		for _, id := range ids {
+			if id != "F7" {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+		start := time.Now()
+		res, report := bench.Sessions(*pipeline)
+		if _, err := res.WriteTo(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "_F7 completed in %s_\n\n", time.Since(start).Round(time.Millisecond))
+		if err := writeF7JSON(*f7JSON, report); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, "F7", res); err != nil {
 				return err
 			}
 		}
@@ -133,7 +164,20 @@ func writeF4JSON(path string, report *bench.HotPathReport) error {
 		GeneratedAt string `json:"generatedAt"`
 		*bench.HotPathReport
 	}{time.Now().UTC().Format(time.RFC3339), report}
-	data, err := json.MarshalIndent(wrapped, "", "  ")
+	return writeJSON(path, wrapped)
+}
+
+// writeF7JSON commits the F7 report (BENCH_F7.json) the same way.
+func writeF7JSON(path string, report *bench.SessionsReport) error {
+	wrapped := struct {
+		GeneratedAt string `json:"generatedAt"`
+		*bench.SessionsReport
+	}{time.Now().UTC().Format(time.RFC3339), report}
+	return writeJSON(path, wrapped)
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -7,10 +7,12 @@
 //	kv -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -f 1 -e 1 \
 //	   -data-dir /var/lib/kv0 -fsync always
 //
-// Client (reads commands from stdin, PUT/GET/DEL/STATS/INFO, fails over between
-// proxies):
+// Client (reads commands from stdin, PUT/GET/GETL/DEL/STATS/INFO, fails over
+// between proxies; -pipeline N negotiates the multiplexed session protocol
+// with an N-deep in-flight window, falling back to the legacy line protocol
+// against older servers):
 //
-//	kv -connect 127.0.0.1:8100,127.0.0.1:8101,127.0.0.1:8102
+//	kv -connect 127.0.0.1:8100,127.0.0.1:8101,127.0.0.1:8102 -pipeline 16
 //	> PUT city madrid
 //	OK
 //	> GET city
@@ -53,6 +55,7 @@ func run() error {
 		tickMS  = flag.Int("tick", 5, "milliseconds per protocol tick (Δ = 10 ticks)")
 		stats   = flag.Duration("stats", 30*time.Second, "period between transport stats lines (0 disables)")
 		connect = flag.String("connect", "", "client mode: comma-separated client addresses")
+		pipedep = flag.Int("pipeline", 0, "client mode: use the multiplexed session protocol with this in-flight window (0 = legacy one-at-a-time client)")
 		dataDir = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty runs in-memory")
 		fsync   = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 		fsyncIv = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
@@ -62,7 +65,7 @@ func run() error {
 	flag.Parse()
 
 	if *connect != "" {
-		return clientMain(strings.Split(*connect, ","))
+		return clientMain(strings.Split(*connect, ","), *pipedep)
 	}
 	if *id < 0 || *peers == "" {
 		return fmt.Errorf("replica mode needs -id and -peers; client mode needs -connect")
@@ -181,51 +184,96 @@ func shiftPort(addr string, delta int) (string, error) {
 	return net.JoinHostPort(host, strconv.Itoa(port+delta)), nil
 }
 
-func clientMain(addrs []string) error {
+// kvClient is the REPL's view of either client generation.
+type kvClient interface {
+	Put(key, val string) error
+	Get(key string) (string, error)
+	GetLinearizable(key string) (string, error)
+	Delete(key string) error
+	Stats() (string, error)
+	Info() (string, error)
+	Close() error
+}
+
+func clientMain(addrs []string, pipeline int) error {
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
-	client, err := smr.NewClient(addrs, 30*time.Second)
-	if err != nil {
-		return err
+	var client kvClient
+	if pipeline > 0 {
+		sc, err := smr.NewSessionClient(addrs, smr.SessionOptions{
+			Timeout:      30 * time.Second,
+			Depth:        pipeline,
+			PreferLeader: true,
+		})
+		if err != nil {
+			return err
+		}
+		client = sc
+		// Force the handshake so the mode and leader hint are reportable.
+		if err := sc.Ping(); err != nil {
+			return err
+		}
+		if sc.Pipelined() {
+			fmt.Printf("connected proxy set: %v (session protocol, depth %d, leader hint r%d)\n",
+				addrs, pipeline, sc.LeaderHint())
+		} else {
+			fmt.Printf("connected proxy set: %v (server pre-dates sessions; legacy fallback)\n", addrs)
+		}
+	} else {
+		c, err := smr.NewClient(addrs, 30*time.Second)
+		if err != nil {
+			return err
+		}
+		client = c
+		fmt.Printf("connected proxy set: %v\n", addrs)
 	}
 	defer client.Close()
 
-	fmt.Printf("connected proxy set: %v\n", addrs)
 	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 64*1024), smr.MaxLineBytes)
 	fmt.Print("> ")
 	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
+		line := strings.TrimLeft(strings.TrimRight(scanner.Text(), "\r"), " ")
 		if line == "" {
 			fmt.Print("> ")
 			continue
 		}
-		fields := strings.Fields(line)
-		switch strings.ToUpper(fields[0]) {
+		// Split verb and key on single spaces only: a PUT value is
+		// everything after the second space, verbatim — joining
+		// whitespace-split fields would silently collapse runs of spaces
+		// inside the value.
+		verb, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(verb) {
 		case "QUIT", "EXIT":
 			return nil
-		case "GET":
-			if len(fields) != 2 {
-				fmt.Println("usage: GET <key>")
+		case "GET", "GETL":
+			if rest == "" || strings.Contains(rest, " ") {
+				fmt.Printf("usage: %s <key>\n", strings.ToUpper(verb))
 				break
 			}
-			fmt.Println(renderGet(client.Get(fields[1])))
+			if strings.ToUpper(verb) == "GETL" {
+				fmt.Println(renderGet(client.GetLinearizable(rest)))
+			} else {
+				fmt.Println(renderGet(client.Get(rest)))
+			}
 		case "PUT":
-			if len(fields) < 3 {
+			key, val, ok := strings.Cut(rest, " ")
+			if key == "" || !ok {
 				fmt.Println("usage: PUT <key> <value>")
 				break
 			}
-			if err := client.Put(fields[1], strings.Join(fields[2:], " ")); err != nil {
+			if err := client.Put(key, val); err != nil {
 				fmt.Println("ERR", err)
 			} else {
 				fmt.Println("OK")
 			}
 		case "DEL":
-			if len(fields) != 2 {
+			if rest == "" || strings.Contains(rest, " ") {
 				fmt.Println("usage: DEL <key>")
 				break
 			}
-			if err := client.Delete(fields[1]); err != nil {
+			if err := client.Delete(rest); err != nil {
 				fmt.Println("ERR", err)
 			} else {
 				fmt.Println("OK")
@@ -245,7 +293,7 @@ func clientMain(addrs []string) error {
 				fmt.Println("INFO", line)
 			}
 		default:
-			fmt.Println("commands: PUT GET DEL STATS INFO QUIT")
+			fmt.Println("commands: PUT GET GETL DEL STATS INFO QUIT")
 		}
 		fmt.Print("> ")
 	}

@@ -25,6 +25,7 @@ func Experiments(soakRuns int) map[string]func() *Result {
 		"F4":  Throughput,
 		"F4b": HotPathF4b,
 		"F5":  Placement,
+		"F7":  SessionsF7,
 		"A1":  Ablation,
 	}
 }

@@ -59,8 +59,14 @@ func (e *outcomeError) Is(target error) bool {
 // every other error — a server-side timeout above all — arrived after the
 // command may have entered consensus, so the write may still apply.
 func ambiguousReply(reply string) bool {
-	for _, definite := range []string{"ERR usage:", "ERR unknown command", "ERR empty"} {
-		if strings.HasPrefix(reply, definite) {
+	definite := []string{
+		"ERR usage:", "ERR unknown command", "ERR empty",
+		// Session-protocol refusals issued before the command is parsed
+		// or queued: nothing entered consensus.
+		"ERR line too long", "ERR busy", "ERR bad frame",
+	}
+	for _, d := range definite {
+		if strings.HasPrefix(reply, d) {
 			return false
 		}
 	}
@@ -92,14 +98,24 @@ func NewClient(addrs []string, opTimeout time.Duration) (*Client, error) {
 }
 
 // Put replicates a write through the current proxy. A non-nil error
-// matches exactly one of ErrMaybeApplied / ErrRejected (errors.Is).
+// matches exactly one of ErrMaybeApplied / ErrRejected (errors.Is). Keys
+// containing spaces or control characters, and values containing line
+// terminators, are rejected here: the line protocol cannot carry them,
+// and a value like "v\nDEL k" would otherwise inject a second command
+// into the stream.
 func (c *Client) Put(key, val string) error {
-	return c.write(fmt.Sprintf("PUT %s %s", key, val))
+	if err := checkPut(key, val); err != nil {
+		return err
+	}
+	return c.write("PUT " + key + " " + val)
 }
 
 // Delete removes a key through the current proxy. Errors carry the same
 // applied-or-not verdict as Put.
 func (c *Client) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return &outcomeError{cause: err, maybe: false}
+	}
 	return c.write("DEL " + key)
 }
 
@@ -124,12 +140,18 @@ func (c *Client) write(line string) error {
 // state; the reply can lag concurrent writes. Use GetLinearizable for a
 // read that observes every completed write.
 func (c *Client) Get(key string) (string, error) {
+	if err := checkKey(key); err != nil {
+		return "", &outcomeError{cause: err, maybe: false}
+	}
 	return c.read("GET " + key)
 }
 
 // GetLinearizable reads a key with linearizable semantics (the server
 // replicates a no-op through consensus before reading).
 func (c *Client) GetLinearizable(key string) (string, error) {
+	if err := checkKey(key); err != nil {
+		return "", &outcomeError{cause: err, maybe: false}
+	}
 	return c.read("GETL " + key)
 }
 
@@ -152,30 +174,35 @@ func (c *Client) read(line string) (string, error) {
 }
 
 // Stats fetches the current proxy replica's transport counters line
-// (the server's STATS command).
+// (the server's STATS command). Failures carry the same
+// ErrMaybeApplied/ErrRejected verdict as every other operation — STATS
+// never mutates, so the verdict is informational, but the "every failure
+// is exactly one of the two" invariant holds for all client errors.
 func (c *Client) Stats() (string, error) {
-	reply, _, err := c.roundTrip("STATS")
-	if err != nil {
-		return "", err
-	}
-	if !strings.HasPrefix(reply, "STATS ") {
-		return "", fmt.Errorf("smr client: %s", reply)
-	}
-	return strings.TrimPrefix(reply, "STATS "), nil
+	return c.prefixed("STATS")
 }
 
 // Info fetches the current proxy replica's operational summary line
 // (applied index, open slots, WAL and snapshot state; the server's INFO
-// command).
+// command), with Stats's error contract.
 func (c *Client) Info() (string, error) {
-	reply, _, err := c.roundTrip("INFO")
+	return c.prefixed("INFO")
+}
+
+// prefixed runs a command whose success reply echoes the verb as prefix,
+// classifying failures like read does.
+func (c *Client) prefixed(cmd string) (string, error) {
+	reply, sent, err := c.roundTrip(cmd)
 	if err != nil {
-		return "", err
+		return "", &outcomeError{cause: err, maybe: sent}
 	}
-	if !strings.HasPrefix(reply, "INFO ") {
-		return "", fmt.Errorf("smr client: %s", reply)
+	if !strings.HasPrefix(reply, cmd+" ") {
+		return "", &outcomeError{
+			cause: fmt.Errorf("smr client: %s", reply),
+			maybe: ambiguousReply(reply),
+		}
 	}
-	return strings.TrimPrefix(reply, "INFO "), nil
+	return strings.TrimPrefix(reply, cmd+" "), nil
 }
 
 // Proxy returns the address of the proxy currently in use.

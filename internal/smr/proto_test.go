@@ -1,0 +1,128 @@
+package smr
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestReadLineBasics(t *testing.T) {
+	br := bufio.NewReader(strings.NewReader("one\ntwo\r\n\nlast\n"))
+	for i, want := range []string{"one", "two", "", "last"} {
+		got, err := readLine(br, 64)
+		if err != nil || got != want {
+			t.Fatalf("line %d = %q, %v; want %q", i, got, err, want)
+		}
+	}
+	if _, err := readLine(br, 64); err == nil {
+		t.Fatal("EOF not reported")
+	}
+}
+
+func TestReadLinePartialLineAtEOFIsError(t *testing.T) {
+	br := bufio.NewReader(strings.NewReader("cut-mid-line"))
+	if got, err := readLine(br, 64); err == nil {
+		t.Fatalf("partial line at EOF returned %q, want error", got)
+	}
+}
+
+// TestReadLineOversize pins the fix for the 64 KB scanner bug: an
+// oversize line must be consumed in full (so the connection stays in
+// sync), reported as errLineTooLong, and hand back its prefix (so a
+// session server can still recover the frame tag); the next line must
+// parse normally.
+func TestReadLineOversize(t *testing.T) {
+	big := strings.Repeat("x", 300)
+	br := bufio.NewReaderSize(strings.NewReader("17 "+big+"\nnext\n"), 16)
+	line, err := readLine(br, 64)
+	if err != errLineTooLong {
+		t.Fatalf("err = %v, want errLineTooLong", err)
+	}
+	if !strings.HasPrefix(line, "17 ") || len(line) != 64 {
+		t.Fatalf("prefix = %q (len %d), want 64 bytes starting with tag", line, len(line))
+	}
+	if got, err := readLine(br, 64); err != nil || got != "next" {
+		t.Fatalf("line after oversize = %q, %v; want %q", got, err, "next")
+	}
+}
+
+func TestReadLineExactLimit(t *testing.T) {
+	br := bufio.NewReader(strings.NewReader(strings.Repeat("a", 64) + "\n"))
+	if got, err := readLine(br, 64); err != nil || len(got) != 64 {
+		t.Fatalf("64-byte line under 64-byte limit = len %d, %v; want ok", len(got), err)
+	}
+	br = bufio.NewReader(strings.NewReader(strings.Repeat("a", 65) + "\n"))
+	if _, err := readLine(br, 64); err != errLineTooLong {
+		t.Fatalf("65-byte line under 64-byte limit: err = %v", err)
+	}
+}
+
+func TestParseFrame(t *testing.T) {
+	for _, bad := range []string{"", "notag", "x PUT k v", "-1 PUT k v", "99999999999999999999999 X"} {
+		if _, _, err := parseFrame(bad); err == nil {
+			t.Errorf("parseFrame(%q) accepted", bad)
+		}
+	}
+	tag, payload, err := parseFrame("42 PUT k a  b")
+	if err != nil || tag != 42 || payload != "PUT k a  b" {
+		t.Fatalf("parseFrame = %d, %q, %v", tag, payload, err)
+	}
+	// Payload may be empty: "7 " is a frame with an empty command.
+	if _, payload, err = parseFrame("7 "); err != nil || payload != "" {
+		t.Fatalf("empty payload frame: %q, %v", payload, err)
+	}
+}
+
+func TestCheckKeyValue(t *testing.T) {
+	for _, bad := range []string{"", "a b", "a\tb", "a\nb", "a\rb", "a\x00b", "\x7f"} {
+		if err := checkKey(bad); err == nil {
+			t.Errorf("checkKey(%q) accepted", bad)
+		}
+	}
+	for _, ok := range []string{"k", "user:42", "π", "a-b_c.d"} {
+		if err := checkKey(ok); err != nil {
+			t.Errorf("checkKey(%q) = %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"v\nDEL k", "v\r", "a\x01b"} {
+		if err := checkValue(bad); err == nil {
+			t.Errorf("checkValue(%q) accepted", bad)
+		}
+	}
+	for _, ok := range []string{"", "plain", "a  b", "tab\tseparated", "trailing  "} {
+		if err := checkValue(ok); err != nil {
+			t.Errorf("checkValue(%q) = %v", ok, err)
+		}
+	}
+}
+
+// FuzzSessionFrameRoundTrip checks encode/parse symmetry of the session
+// framing: any tag and any payload the validators admit must round-trip
+// byte-exact through appendFrame → readLine → parseFrame.
+func FuzzSessionFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "PUT k v")
+	f.Add(uint64(0), "")
+	f.Add(uint64(1<<63), "GETL key")
+	f.Add(uint64(7), "PUT k a  b\twith tabs  ")
+	f.Fuzz(func(t *testing.T, tag uint64, payload string) {
+		if strings.ContainsAny(payload, "\r\n") {
+			t.Skip() // the validators keep line terminators off the wire
+		}
+		frame := appendFrame(nil, tag, payload)
+		if len(frame) > MaxLineBytes {
+			t.Skip()
+		}
+		br := bufio.NewReader(strings.NewReader(string(frame)))
+		line, err := readLine(br, MaxLineBytes)
+		if err != nil {
+			t.Fatalf("readLine(%q): %v", frame, err)
+		}
+		gotTag, gotPayload, err := parseFrame(line)
+		if err != nil {
+			t.Fatalf("parseFrame(%q): %v", line, err)
+		}
+		if gotTag != tag || gotPayload != payload {
+			t.Fatalf("round trip (%d, %q) → (%d, %q)", tag, payload, gotTag, gotPayload)
+		}
+	})
+}

@@ -155,6 +155,19 @@ func NewReplica(cfg consensus.Config, tick time.Duration) (*Replica, error) {
 	}, nil
 }
 
+// ID returns this replica's process id.
+func (r *Replica) ID() consensus.ProcessID { return r.cfg.ID }
+
+// OmegaLeader returns the Ω failure detector's current leader estimate —
+// the replica most likely to complete fast-path proposals, which the
+// session protocol hands to clients as a proposer-locality hint (the OHAI
+// line, see docs/SESSIONS.md).
+func (r *Replica) OmegaLeader() consensus.ProcessID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.det.Leader()
+}
+
 // SetLegacyPath reverts the replica to the pre-overhaul I/O discipline —
 // fsync and transport sends performed inside the protocol step, under the
 // replica lock — so a bench run can measure old and new hot paths in the

@@ -1,7 +1,10 @@
 package smr_test
 
 import (
+	"bufio"
 	"errors"
+	"fmt"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -146,6 +149,134 @@ func TestServerStatsCommand(t *testing.T) {
 	}
 	if strings.HasPrefix(line, "sends=0 ") {
 		t.Fatalf("STATS line = %q, want nonzero sends after a replicated write", line)
+	}
+}
+
+// dialRaw opens a raw protocol connection for wire-level tests.
+func dialRaw(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	return conn, bufio.NewReader(conn)
+}
+
+func readReply(t *testing.T, rd *bufio.Reader) string {
+	t.Helper()
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+// TestServerOversizeLineGetsErrNotDroppedConn pins the bufio.Scanner
+// bug: the old server's 64 KB token limit silently killed the connection
+// on a long PUT, which the client misreported as maybe-applied for a
+// command that never executed. Now an oversize line must get an explicit
+// "ERR line too long" reply on a connection that keeps working.
+func TestServerOversizeLineGetsErrNotDroppedConn(t *testing.T) {
+	addrs, servers, cleanup := startServedCluster(t, 3, 1, 1)
+	defer cleanup()
+	conn, rd := dialRaw(t, addrs[0])
+
+	oversize := "PUT big " + strings.Repeat("x", smr.MaxLineBytes+100)
+	if _, err := fmt.Fprintf(conn, "%s\n", oversize); err != nil {
+		t.Fatal(err)
+	}
+	if got := readReply(t, rd); got != "ERR line too long" {
+		t.Fatalf("oversize line reply = %q, want ERR line too long", got)
+	}
+	// The same connection still serves commands.
+	fmt.Fprintln(conn, "PUT k v")
+	if got := readReply(t, rd); got != "OK" {
+		t.Fatalf("PUT after oversize line = %q, want OK", got)
+	}
+	fmt.Fprintln(conn, "GET big")
+	if got := readReply(t, rd); got != "NONE" {
+		t.Fatalf("the oversize PUT must not have executed; GET big = %q", got)
+	}
+	var tooLong uint64
+	for _, s := range servers {
+		tooLong += s.Counters().TooLong
+	}
+	if tooLong == 0 {
+		t.Fatal("oversize line not counted")
+	}
+}
+
+// TestServerLargeValueNowWorks: a 100 KB value sat beyond the old
+// scanner's 64 KB default and killed the connection; it is well inside
+// MaxLineBytes and must simply work.
+func TestServerLargeValueNowWorks(t *testing.T) {
+	addrs, _, cleanup := startServedCluster(t, 3, 1, 1)
+	defer cleanup()
+	client, err := smr.NewClient(addrs[:1], 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	big := strings.Repeat("payload-", 100*1024/8) // 100 KiB
+	if err := client.Put("big", big); err != nil {
+		t.Fatalf("Put(100KB): %v", err)
+	}
+	if got, err := client.Get("big"); err != nil || got != big {
+		t.Fatalf("Get(big) = %d bytes, %v; want %d bytes back", len(got), err, len(big))
+	}
+}
+
+// TestServerHelloBadVersion: an unknown HELLO variant must refuse the
+// upgrade the way a v1 server would, and keep serving the legacy
+// protocol on the same connection.
+func TestServerHelloBadVersion(t *testing.T) {
+	addrs, _, cleanup := startServedCluster(t, 3, 1, 1)
+	defer cleanup()
+	conn, rd := dialRaw(t, addrs[0])
+
+	fmt.Fprintln(conn, "HELLO 99 extra")
+	if got := readReply(t, rd); got != "ERR unknown command HELLO" {
+		t.Fatalf("bad HELLO reply = %q", got)
+	}
+	fmt.Fprintln(conn, "PING")
+	if got := readReply(t, rd); got != "PONG" {
+		t.Fatalf("PING after refused HELLO = %q", got)
+	}
+}
+
+// TestServerSessionWire drives the v2 frame protocol over a raw socket:
+// OHAI negotiation, tagged replies, busy-queue and oversize behavior.
+func TestServerSessionWire(t *testing.T) {
+	addrs, _, cleanup := startServedCluster(t, 3, 1, 1)
+	defer cleanup()
+	conn, rd := dialRaw(t, addrs[0])
+
+	fmt.Fprintln(conn, "HELLO 2")
+	ohai := readReply(t, rd)
+	var ver, id, leader int
+	if _, err := fmt.Sscanf(ohai, "OHAI %d %d %d", &ver, &id, &leader); err != nil || ver != 2 {
+		t.Fatalf("OHAI = %q (%v)", ohai, err)
+	}
+	fmt.Fprintln(conn, "7 PUT k v")
+	if got := readReply(t, rd); got != "7 OK" {
+		t.Fatalf("tagged PUT reply = %q", got)
+	}
+	fmt.Fprintln(conn, "8 GET k")
+	if got := readReply(t, rd); got != "8 VAL v" {
+		t.Fatalf("tagged GET reply = %q", got)
+	}
+	// Oversize frame: the tag survives the truncation, so the error is
+	// addressed to it and the session continues.
+	fmt.Fprintf(conn, "9 PUT big %s\n", strings.Repeat("x", smr.MaxLineBytes))
+	if got := readReply(t, rd); got != "9 ERR line too long" {
+		t.Fatalf("oversize frame reply = %q", got)
+	}
+	fmt.Fprintln(conn, "10 PING")
+	if got := readReply(t, rd); got != "10 PONG" {
+		t.Fatalf("PING after oversize frame = %q", got)
 	}
 }
 
