@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench microbench report examples vet lint cover fuzz crash chaos chaos-short clean
+.PHONY: all build test test-short race bench bench-groups microbench report examples vet lint cover fuzz crash chaos chaos-short clean
 
 all: build vet lint test
 
@@ -32,6 +32,12 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1200s .
+
+# F8 multi-group scale-out figure: aggregate throughput and cluster
+# fsyncs/op vs groups per process — regenerates BENCH_F8.json; see
+# docs/SHARDING.md.
+bench-groups:
+	$(GO) run ./cmd/bench -exp F8 -f8-json BENCH_F8.json
 
 # Hot-path microbenchmarks (codec allocs, WAL group commit, full replica
 # pipeline) at a fixed iteration count so CI gets stable allocs/op without
@@ -78,11 +84,15 @@ SEEDS ?= 20
 chaos:
 	$(GO) test -tags chaos ./internal/chaos -run TestChaosFull -v \
 		-chaos.seed=$(SEED) -chaos.seeds=$(SEEDS) -timeout 1200s
+	$(GO) test ./internal/chaos -run TestShardedChaosLinearizable -count=1 -v -timeout 300s
 
-# Shrunk chaos campaign for per-push CI: fewer seeds, smaller scenarios.
+# Shrunk chaos campaign for per-push CI: fewer seeds, smaller scenarios,
+# plus the multi-group scenario (partitions + crash-restart through the
+# shared-WAL recovery demux — see docs/SHARDING.md).
 chaos-short:
 	$(GO) test -tags chaos ./internal/chaos -run TestChaosFull \
 		-chaos.seed=$(SEED) -chaos.seeds=5 -chaos.short -timeout 600s
+	$(GO) test ./internal/chaos -run TestShardedChaosLinearizable -count=1 -timeout 300s
 
 clean:
 	rm -rf out

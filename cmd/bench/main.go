@@ -37,6 +37,7 @@ func run() error {
 		csvDir   = flag.String("csv", "", "also write each experiment as <dir>/<ID>.csv")
 		f4JSON   = flag.String("f4-json", "", "run F4b and write its machine-readable report to this file (BENCH_F4.json)")
 		f7JSON   = flag.String("f7-json", "", "run F7 and write its machine-readable report to this file (BENCH_F7.json)")
+		f8JSON   = flag.String("f8-json", "", "run F8 and write its machine-readable report to this file (BENCH_F8.json)")
 		pipeline = flag.Int("pipeline", 0, "session-client in-flight depth for F7's deep rows (0 = default 16)")
 	)
 	flag.Parse()
@@ -130,6 +131,30 @@ func run() error {
 			}
 		}
 	}
+	if *f8JSON != "" {
+		// Same arrangement as -f7-json: F8 runs once, report captured.
+		var kept []string
+		for _, id := range ids {
+			if id != "F8" {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+		start := time.Now()
+		res, report := bench.GroupScaling()
+		if _, err := res.WriteTo(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "_F8 completed in %s_\n\n", time.Since(start).Round(time.Millisecond))
+		if err := writeF8JSON(*f8JSON, report); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, "F8", res); err != nil {
+				return err
+			}
+		}
+	}
 	for _, id := range ids {
 		start := time.Now()
 		res := exps[id]()
@@ -172,6 +197,15 @@ func writeF7JSON(path string, report *bench.SessionsReport) error {
 	wrapped := struct {
 		GeneratedAt string `json:"generatedAt"`
 		*bench.SessionsReport
+	}{time.Now().UTC().Format(time.RFC3339), report}
+	return writeJSON(path, wrapped)
+}
+
+// writeF8JSON commits the F8 report (BENCH_F8.json) the same way.
+func writeF8JSON(path string, report *bench.GroupsReport) error {
+	wrapped := struct {
+		GeneratedAt string `json:"generatedAt"`
+		*bench.GroupsReport
 	}{time.Now().UTC().Format(time.RFC3339), report}
 	return writeJSON(path, wrapped)
 }

@@ -7,6 +7,11 @@
 //	kv -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -f 1 -e 1 \
 //	   -data-dir /var/lib/kv0 -fsync always
 //
+// With -groups N the process hosts N consensus groups sharing one
+// transport, WAL, and fsync stream; keys hash-route across groups
+// transparently (see docs/SHARDING.md). -groups 1 (the default) is
+// byte-compatible with data directories written before sharding.
+//
 // Client (reads commands from stdin, PUT/GET/GETL/DEL/STATS/INFO, fails over
 // between proxies; -pipeline N negotiates the multiplexed session protocol
 // with an N-deep in-flight window, falling back to the legacy line protocol
@@ -34,6 +39,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/debugsrv"
+	"repro/internal/shard"
 	"repro/internal/smr"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -50,6 +56,7 @@ func run() error {
 	var (
 		id      = flag.Int("id", -1, "replica id (replica mode)")
 		peers   = flag.String("peers", "", "comma-separated consensus addresses, index = id")
+		groups  = flag.Int("groups", 1, "consensus groups hosted per process; keys hash-route across groups, all groups share one transport, WAL, and fsync stream")
 		fFlag   = flag.Int("f", 1, "resilience threshold f")
 		eFlag   = flag.Int("e", 1, "fast threshold e")
 		tickMS  = flag.Int("tick", 5, "milliseconds per protocol tick (Δ = 10 ticks)")
@@ -70,73 +77,86 @@ func run() error {
 	if *id < 0 || *peers == "" {
 		return fmt.Errorf("replica mode needs -id and -peers; client mode needs -connect")
 	}
-	var dur *smr.DurabilityOptions
+	var dur *shard.Durability
 	if *dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
 			return err
 		}
-		dur = &smr.DurabilityOptions{
+		dur = &shard.Durability{
 			Dir:           *dataDir,
 			Policy:        policy,
 			SyncEvery:     *fsyncIv,
 			SnapshotEvery: *snapEv,
 		}
 	}
-	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *tickMS, *stats, *pprof, dur)
+	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *groups, *tickMS, *stats, *pprof, dur)
 }
 
-func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Duration, pprofAddr string, dur *smr.DurabilityOptions) error {
+func replicaMain(id int, peerList []string, f, e, groups, tickMS int, statsEvery time.Duration, pprofAddr string, dur *shard.Durability) error {
 	n := len(peerList)
 	cfg := consensus.Config{ID: consensus.ProcessID(id), N: n, F: f, E: e, Delta: 10}
-	replica, err := smr.NewReplica(cfg, time.Duration(tickMS)*time.Millisecond)
+	// Replica mode always runs the multi-group runtime — with -groups 1 it
+	// hosts a single group whose on-disk layout matches the pre-sharding
+	// replica, so existing data directories open unchanged.
+	rt, err := shard.New(shard.Options{
+		Groups:     groups,
+		Config:     cfg,
+		Tick:       time.Duration(tickMS) * time.Millisecond,
+		Durability: dur,
+	})
 	if err != nil {
 		return err
 	}
-	defer replica.Close()
+	defer rt.Close()
 
 	if dur != nil {
-		rec, err := replica.EnableDurability(*dur)
-		if err != nil {
-			return err
-		}
-		if rec.Recovered {
-			fmt.Printf("recovered: snapshot applied=%d, wal records=%d, torn tail=%t, applied=%d, open slots=%d\n",
-				rec.SnapshotApplied, rec.WalRecords, rec.TornTail, rec.Applied, rec.OpenSlots)
+		recs, _ := rt.Recovery()
+		for g, rec := range recs {
+			if rec.Recovered {
+				fmt.Printf("recovered g%d: snapshot applied=%d, wal records=%d, torn tail=%t, applied=%d, open slots=%d\n",
+					g, rec.SnapshotApplied, rec.WalRecords, rec.TornTail, rec.Applied, rec.OpenSlots)
+			}
 		}
 	}
 
 	codec := consensus.NewCodec()
-	smr.RegisterMessages(codec)
+	shard.RegisterMessages(codec)
 	addrs := make(map[consensus.ProcessID]string, n)
 	for i, a := range peerList {
 		addrs[consensus.ProcessID(i)] = strings.TrimSpace(a)
 	}
-	tr, err := transport.NewTCP(cfg.ID, addrs, codec, replica.Handle)
+	tr, err := transport.NewTCP(cfg.ID, addrs, codec, rt.Handler())
 	if err != nil {
 		return err
 	}
-	replica.BindTransport(tr)
-	replica.Start()
+	rt.BindTransport(tr)
+	rt.Start()
 
 	clientAddr, err := shiftPort(addrs[cfg.ID], 1000)
 	if err != nil {
 		return err
 	}
-	srv, err := smr.NewServer(replica, clientAddr, 30*time.Second)
+	srv, err := smr.NewBackendServer(rt, clientAddr, 30*time.Second)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 
-	fmt.Printf("replica %s up: consensus %s, clients %s, n=%d f=%d e=%d\n",
-		cfg.ID, addrs[cfg.ID], srv.Addr(), n, f, e)
+	fmt.Printf("replica %s up: consensus %s, clients %s, n=%d f=%d e=%d groups=%d\n",
+		cfg.ID, addrs[cfg.ID], srv.Addr(), n, f, e, groups)
 
 	if pprofAddr != "" {
 		dbgAddr, err := debugsrv.Serve(pprofAddr, map[string]func() any{
-			"kv.transport": func() any { st, _ := replica.TransportStats(); return st },
-			"kv.replica":   func() any { return replica.Info() },
-			"kv.batch":     func() any { return replica.BatchStats() },
+			"kv.transport": func() any { st, _ := rt.Group(0).TransportStats(); return st },
+			"kv.replica":   func() any { return rt.Info() },
+			"kv.batch": func() any {
+				stats := make([]smr.BatchStats, rt.Groups())
+				for g := range stats {
+					stats[g] = rt.Group(g).BatchStats()
+				}
+				return stats
+			},
 		})
 		if err != nil {
 			return err
@@ -149,10 +169,10 @@ func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Du
 		defer ticker.Stop()
 		go func() {
 			for range ticker.C {
-				if st, ok := replica.TransportStats(); ok {
+				if st, ok := rt.Group(0).TransportStats(); ok {
 					fmt.Printf("transport: %s\n", st)
 				}
-				fmt.Printf("info: %s\n", replica.Info())
+				fmt.Printf("info: %s\n", rt.Info())
 			}
 		}()
 	}
@@ -163,10 +183,10 @@ func replicaMain(id int, peerList []string, f, e, tickMS int, statsEvery time.Du
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	if st, ok := replica.TransportStats(); ok {
+	if st, ok := rt.Group(0).TransportStats(); ok {
 		fmt.Printf("transport (final): %s\n", st)
 	}
-	fmt.Printf("info (final): %s\n", replica.Info())
+	fmt.Printf("info (final): %s\n", rt.Info())
 	fmt.Println("shutting down")
 	return nil
 }

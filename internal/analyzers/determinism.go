@@ -26,6 +26,7 @@ var protocolPackages = map[string]bool{
 	"repro/internal/mc":         true,
 	"repro/internal/quorum":     true,
 	"repro/internal/wal":        true,
+	"repro/internal/shard":      true,
 }
 
 // IsProtocolPackage reports whether path is subject to the determinism

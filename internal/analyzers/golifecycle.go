@@ -17,6 +17,7 @@ var hostPackages = map[string]bool{
 	"repro/internal/smr":       true,
 	"repro/internal/node":      true,
 	"repro/internal/chaos":     true,
+	"repro/internal/shard":     true,
 }
 
 // GoLifecycle requires every go statement in the host packages to spawn a

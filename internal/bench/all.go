@@ -26,6 +26,7 @@ func Experiments(soakRuns int) map[string]func() *Result {
 		"F4b": HotPathF4b,
 		"F5":  Placement,
 		"F7":  SessionsF7,
+		"F8":  GroupsF8,
 		"A1":  Ablation,
 	}
 }

@@ -1,0 +1,49 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlanGroups turns a sample of the keyspace into range bounds for n
+// consensus groups: it sorts the sample, cuts it into n equal-population
+// slices, and returns the n-1 cut keys — strictly ascending, ready for
+// shard.NewRangeRouter (group i serves keys in [bounds[i-1], bounds[i])).
+// A hash router balances uniformly but scatters key locality; a range
+// router planned from observed keys keeps prefixes together (one tenant,
+// one group) while still splitting the population evenly — the same
+// even-share objective Solve applies to sites, applied to the keyspace.
+//
+// The sample needs at least n distinct keys to define n non-empty ranges;
+// fewer is an error (fall back to a hash router when the keyspace is
+// unknown or tiny).
+func PlanGroups(sample []string, n int) ([]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("planner: group count must be >= 1, got %d", n)
+	}
+	if n == 1 {
+		return []string{}, nil
+	}
+	distinct := make([]string, len(sample))
+	copy(distinct, sample)
+	sort.Strings(distinct)
+	w := 0
+	for i, k := range distinct {
+		if i == 0 || k != distinct[w-1] {
+			distinct[w] = k
+			w++
+		}
+	}
+	distinct = distinct[:w]
+	if len(distinct) < n {
+		return nil, fmt.Errorf("planner: %d distinct sample keys cannot seed %d groups", len(distinct), n)
+	}
+	bounds := make([]string, 0, n-1)
+	for g := 1; g < n; g++ {
+		// The g-th cut sits at the g/n quantile of the distinct population.
+		bounds = append(bounds, distinct[g*len(distinct)/n])
+	}
+	// Distinctness of the sample makes quantile indexes strictly increasing,
+	// so the bounds are strictly ascending by construction.
+	return bounds, nil
+}

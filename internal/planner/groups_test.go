@@ -1,0 +1,93 @@
+package planner_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/planner"
+	"repro/internal/shard"
+)
+
+// TestPlanGroupsFeedsRangeRouter is the integration contract: PlanGroups
+// output must construct a shard.RangeRouter of exactly n groups, with
+// every sampled key landing in a valid group and the population split
+// roughly evenly.
+func TestPlanGroupsFeedsRangeRouter(t *testing.T) {
+	sample := make([]string, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		sample = append(sample, fmt.Sprintf("user:%04d", i))
+	}
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		bounds, err := planner.PlanGroups(sample, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		r, err := shard.NewRangeRouter(bounds)
+		if err != nil {
+			t.Fatalf("n=%d: bounds rejected by router: %v", n, err)
+		}
+		if r.Groups() != n {
+			t.Fatalf("n=%d: router spans %d groups", n, r.Groups())
+		}
+		counts := make([]int, n)
+		for _, k := range sample {
+			counts[r.Group(k)]++
+		}
+		want := len(sample) / n
+		for g, c := range counts {
+			if c < want/2 || c > want*2 {
+				t.Errorf("n=%d: group %d holds %d keys, want ~%d", n, g, c, want)
+			}
+		}
+	}
+}
+
+// TestPlanGroupsLocality checks the point of range planning: keys sharing
+// a prefix cluster into few groups instead of scattering across all.
+func TestPlanGroupsLocality(t *testing.T) {
+	var sample []string
+	for tenant := 0; tenant < 8; tenant++ {
+		for i := 0; i < 100; i++ {
+			sample = append(sample, fmt.Sprintf("t%d/obj%03d", tenant, i))
+		}
+	}
+	bounds, err := planner.PlanGroups(sample, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := shard.NewRangeRouter(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tenant := 0; tenant < 8; tenant++ {
+		groups := map[int]bool{}
+		for i := 0; i < 100; i++ {
+			groups[r.Group(fmt.Sprintf("t%d/obj%03d", tenant, i))] = true
+		}
+		if len(groups) > 2 {
+			t.Errorf("tenant %d scattered across %d groups, want <= 2 (range locality)", tenant, len(groups))
+		}
+	}
+}
+
+func TestPlanGroupsDegenerate(t *testing.T) {
+	if _, err := planner.PlanGroups([]string{"a", "b"}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bounds, err := planner.PlanGroups(nil, 1)
+	if err != nil || len(bounds) != 0 {
+		t.Errorf("n=1 = (%v, %v), want empty bounds", bounds, err)
+	}
+	if _, err := planner.PlanGroups([]string{"a", "a", "a"}, 2); err == nil {
+		t.Error("1 distinct key accepted for 2 groups")
+	}
+	// Duplicates in the sample must not produce duplicate bounds.
+	sample := []string{"a", "a", "b", "b", "c", "c", "d", "d"}
+	bounds, err = planner.PlanGroups(sample, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.NewRangeRouter(bounds); err != nil {
+		t.Fatalf("bounds %v rejected: %v", bounds, err)
+	}
+}

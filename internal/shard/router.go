@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A Router maps every key to one of a fixed number of consensus groups.
+// Routing must be a pure function of the key: the same key must land on
+// the same group in every process and across restarts, because each group
+// is an independent consensus log — a key that wandered between groups
+// would see two unrelated histories. Routers therefore hold no mutable
+// state and never consult clocks, randomness, or local load.
+type Router interface {
+	// Groups returns the number of groups the router spreads keys over.
+	Groups() int
+	// Group returns the group id for key, in [0, Groups()).
+	Group(key string) int
+}
+
+// HashRouter is the default router: FNV-1a over the key's bytes, modulo
+// the group count. FNV-1a is defined byte-by-byte with fixed constants, so
+// the mapping is identical on every architecture and in every process —
+// the property the determinism tests pin with golden values.
+type HashRouter struct {
+	n int
+}
+
+// NewHashRouter builds a hash router over n groups (n < 1 is treated as 1:
+// a degenerate router that sends everything to group 0).
+func NewHashRouter(n int) HashRouter {
+	if n < 1 {
+		n = 1
+	}
+	return HashRouter{n: n}
+}
+
+// Groups implements Router.
+func (r HashRouter) Groups() int { return r.n }
+
+// Group implements Router.
+func (r HashRouter) Group(key string) int {
+	return int(fnv64a(key) % uint64(r.n))
+}
+
+// FNV-1a 64-bit constants (FNV-0 offset basis and prime).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64a is FNV-1a inlined over a string (hash/fnv forces a []byte copy
+// and an interface call per write; routing runs on every client command).
+func fnv64a(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// RangeRouter routes by key order: len(bounds)+1 groups, where group 0
+// serves keys below bounds[0], group i serves [bounds[i-1], bounds[i]),
+// and the last group serves everything from the last bound up. Range
+// routing keeps contiguous keyspaces together (scans, prefix locality) at
+// the cost of needing a placement decision; planner.PlanGroups derives
+// bounds from a key sample so the initial assignment is balanced.
+type RangeRouter struct {
+	bounds []string
+}
+
+// NewRangeRouter builds a range router from strictly ascending split
+// bounds. An empty bounds slice yields a single group.
+func NewRangeRouter(bounds []string) (RangeRouter, error) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return RangeRouter{}, fmt.Errorf("shard: range bounds not strictly ascending at %d (%q <= %q)", i, bounds[i], bounds[i-1])
+		}
+	}
+	cp := make([]string, len(bounds))
+	copy(cp, bounds)
+	return RangeRouter{bounds: cp}, nil
+}
+
+// Groups implements Router.
+func (r RangeRouter) Groups() int { return len(r.bounds) + 1 }
+
+// Group implements Router: the number of bounds at or below key.
+func (r RangeRouter) Group(key string) int {
+	return sort.Search(len(r.bounds), func(i int) bool { return r.bounds[i] > key })
+}

@@ -1,0 +1,373 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// Runtime hosts N independent consensus groups in one process. Each group
+// is a full smr.Replica — its own Ω detector, slot space, and snapshot
+// store — but the process-wide resources are shared exactly once:
+//
+//   - one transport, multiplexed by group-tagged envelopes (mux.go);
+//   - one WAL, interleaving group-tagged records (journal.go);
+//   - one outbox/fsync scheduler (smr.IOScheduler), so the group-commit
+//     stream coalesces fsyncs across every group, not just within one.
+//
+// Keys route to groups through a deterministic Router; the Runtime
+// implements smr.Backend, so the line/session servers route PUT/GET/DEL/
+// GETL transparently and clients cannot tell a sharded process from a
+// single-replica one.
+//
+// Construction order mirrors a single replica's: New (which recovers every
+// group from the shared WAL), then build the real transport around
+// Handler(), then BindTransport, then Start.
+type Runtime struct {
+	cfg      consensus.Config
+	router   Router
+	mux      *Mux
+	shared   *SharedWAL
+	io       *smr.IOScheduler
+	groups   []*smr.Replica
+	recovery []smr.RecoveryInfo
+	walInfo  wal.OpenInfo
+
+	mu     sync.Mutex
+	tr     transport.Transport
+	closed bool
+}
+
+// Durability configures the shared WAL and per-group snapshots. The WAL
+// lives in Dir/wal — the same place a pre-sharding single replica kept it —
+// and group 0's snapshots in Dir/snap, so a 1-group runtime opens a data
+// directory written before sharding existed unchanged (old records carry
+// no group tag and belong to group 0 by definition). Groups 1+ keep their
+// snapshots under Dir/g<i>/snap.
+type Durability struct {
+	// Dir is the process data directory.
+	Dir string
+	// Policy is the WAL fsync policy (default wal.SyncAlways).
+	Policy wal.SyncPolicy
+	// SyncEvery is the per-group fsync period under wal.SyncInterval.
+	SyncEvery time.Duration
+	// SegmentBytes caps WAL segment size (default wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// SnapshotEvery is the per-group snapshot period in applied commands
+	// (default 64; <0 disables automatic snapshots).
+	SnapshotEvery int
+	// SyncHook runs before each WAL fsync (tests only; see wal.Options).
+	SyncHook func()
+}
+
+// Options configures New.
+type Options struct {
+	// Groups is the number of consensus groups this process hosts (>= 1).
+	Groups int
+	// Config is the consensus configuration shared by every group: one
+	// process id, one membership, N groups layered over it.
+	Config consensus.Config
+	// Tick is the protocol tick duration (see smr.NewReplica).
+	Tick time.Duration
+	// Router maps keys to groups; nil defaults to NewHashRouter(Groups).
+	// Its group count must match Groups.
+	Router Router
+	// Durability, when non-nil, enables the shared WAL + per-group
+	// snapshots under Durability.Dir.
+	Durability *Durability
+	// AdaptiveBatch enables per-group adaptive write batching
+	// (smr.EnableAdaptiveBatching) — the serving configuration; leave off
+	// for latency-measuring setups that want one command per slot.
+	AdaptiveBatch bool
+}
+
+// New builds the runtime and recovers every group from the shared WAL (one
+// replay pass per group; each pass skips the other groups' records).
+// Groups are numbered 0..Groups-1.
+func New(opts Options) (*Runtime, error) {
+	if opts.Groups < 1 {
+		return nil, fmt.Errorf("shard: groups must be >= 1, got %d", opts.Groups)
+	}
+	router := opts.Router
+	if router == nil {
+		router = NewHashRouter(opts.Groups)
+	}
+	if router.Groups() != opts.Groups {
+		return nil, fmt.Errorf("shard: router spans %d groups, runtime hosts %d", router.Groups(), opts.Groups)
+	}
+	rt := &Runtime{
+		cfg:    opts.Config,
+		router: router,
+		mux:    NewMux(opts.Groups),
+		io:     smr.NewSharedIO(),
+	}
+	if opts.Durability != nil {
+		w, winfo, err := OpenSharedWAL(filepath.Join(opts.Durability.Dir, "wal"), opts.Groups, wal.Options{
+			SegmentBytes: opts.Durability.SegmentBytes,
+			Policy:       opts.Durability.Policy,
+			SyncHook:     opts.Durability.SyncHook,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		rt.shared = w
+		rt.walInfo = winfo
+	}
+	for g := 0; g < opts.Groups; g++ {
+		r, err := smr.NewReplica(opts.Config, opts.Tick)
+		if err != nil {
+			rt.abandon()
+			return nil, fmt.Errorf("shard: group %d: %w", g, err)
+		}
+		r.ShareIO(rt.io)
+		if opts.AdaptiveBatch {
+			r.EnableAdaptiveBatching(0)
+		}
+		if opts.Durability != nil {
+			dir := opts.Durability.Dir
+			if g > 0 {
+				dir = filepath.Join(dir, fmt.Sprintf("g%d", g))
+			}
+			info, err := r.EnableDurability(smr.DurabilityOptions{
+				Dir:           dir,
+				Journal:       rt.shared.Group(g),
+				Group:         g,
+				Policy:        opts.Durability.Policy,
+				SyncEvery:     opts.Durability.SyncEvery,
+				SnapshotEvery: opts.Durability.SnapshotEvery,
+			})
+			if err != nil {
+				rt.abandon()
+				return nil, fmt.Errorf("shard: group %d: %w", g, err)
+			}
+			rt.recovery = append(rt.recovery, info)
+		}
+		rt.groups = append(rt.groups, r)
+	}
+	return rt, nil
+}
+
+// abandon tears down a partially constructed runtime.
+func (rt *Runtime) abandon() {
+	for _, r := range rt.groups {
+		_ = r.Close()
+	}
+	rt.io.Close()
+	if rt.shared != nil {
+		_ = rt.shared.Close()
+	}
+}
+
+// Handler returns the inbound handler for the process's real transport:
+// construct the transport with it, then call BindTransport.
+func (rt *Runtime) Handler() transport.Handler { return rt.mux.Handle }
+
+// BindTransport installs the process transport and binds every group's
+// view of it. The runtime takes ownership: Close/Kill close it after the
+// groups.
+func (rt *Runtime) BindTransport(tr transport.Transport) {
+	rt.mu.Lock()
+	rt.tr = tr
+	rt.mu.Unlock()
+	rt.mux.Bind(tr)
+	for g, r := range rt.groups {
+		r.BindTransport(rt.mux.View(g, r.Handle))
+	}
+}
+
+// Start boots every group (Ω detector, status gossip).
+func (rt *Runtime) Start() {
+	for _, r := range rt.groups {
+		r.Start()
+	}
+}
+
+// Groups returns the number of groups hosted.
+func (rt *Runtime) Groups() int { return len(rt.groups) }
+
+// Group returns group g's replica (tests, benches, per-group inspection).
+func (rt *Runtime) Group(g int) *smr.Replica { return rt.groups[g] }
+
+// Router returns the runtime's key router.
+func (rt *Runtime) Router() Router { return rt.router }
+
+// Recovery reports what each group reconstructed on open (empty without
+// durability), plus whether the shared WAL's tail was torn.
+func (rt *Runtime) Recovery() ([]smr.RecoveryInfo, wal.OpenInfo) {
+	return rt.recovery, rt.walInfo
+}
+
+// WalStats reports the shared WAL's counters (false without durability).
+func (rt *Runtime) WalStats() (wal.Stats, bool) {
+	if rt.shared == nil {
+		return wal.Stats{}, false
+	}
+	return rt.shared.Stats(), true
+}
+
+// SyncIO barriers every group's outbox: when it returns, all I/O emitted
+// before the call is externally visible (see smr.Replica.SyncIO).
+func (rt *Runtime) SyncIO() {
+	for _, r := range rt.groups {
+		r.SyncIO()
+	}
+}
+
+// Close shuts the runtime down gracefully: every group drains through the
+// shared scheduler, then the scheduler stops, the shared WAL syncs closed,
+// and the transport closes.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	tr := rt.tr
+	rt.mu.Unlock()
+	var firstErr error
+	for _, r := range rt.groups {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	rt.io.Close()
+	if rt.shared != nil {
+		if err := rt.shared.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if tr != nil {
+		if err := tr.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Kill simulates a process crash for the chaos harness: the shared WAL is
+// aborted FIRST (queued group commits across every group must fail — and
+// fail their client wakeups — rather than make the crashed state durable),
+// then every group is killed, the scheduler drained, and the transport
+// closed. A new Runtime opened on the same data directory runs the real
+// per-group recovery demux.
+func (rt *Runtime) Kill() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	tr := rt.tr
+	rt.mu.Unlock()
+	var firstErr error
+	if rt.shared != nil {
+		if err := rt.shared.Abort(); err != nil {
+			firstErr = err
+		}
+	}
+	for _, r := range rt.groups {
+		if err := r.Kill(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	rt.io.Close()
+	if tr != nil {
+		if err := tr.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Route implements smr.Backend: the replica hosting key's group.
+func (rt *Runtime) Route(key string) *smr.Replica {
+	return rt.groups[rt.router.Group(key)]
+}
+
+// Proxy implements smr.Backend. Group 0 stands in for the process: every
+// group shares the process id, and the OHAI leader hint is advisory — a
+// client optimizing for group 0's leader still reaches every group through
+// whichever process it dials.
+func (rt *Runtime) Proxy() *smr.Replica { return rt.groups[0] }
+
+// StatsLine implements smr.Backend: the shared transport's counters (the
+// wire is per-process, not per-group) prefixed with the group count.
+func (rt *Runtime) StatsLine() string {
+	st, ok := rt.groups[0].TransportStats()
+	if !ok {
+		return "ERR no transport bound"
+	}
+	return fmt.Sprintf("STATS groups=%d %s", len(rt.groups), st.String())
+}
+
+// InfoLine implements smr.Backend.
+func (rt *Runtime) InfoLine() string { return "INFO " + rt.Info().String() }
+
+// Info is the runtime's operational summary: process-wide aggregates plus
+// one entry per group, in group order.
+type Info struct {
+	Groups    int               `json:"groups"`
+	Applied   int               `json:"applied"`   // sum over groups
+	OpenSlots int               `json:"openSlots"` // sum over groups
+	Durable   bool              `json:"durable"`
+	Wal       wal.Stats         `json:"wal,omitempty"` // shared WAL
+	PerGroup  []smr.ReplicaInfo `json:"perGroup"`
+}
+
+// Info collects the runtime summary.
+func (rt *Runtime) Info() Info {
+	info := Info{Groups: len(rt.groups), Durable: rt.shared != nil}
+	if rt.shared != nil {
+		info.Wal = rt.shared.Stats()
+	}
+	for _, r := range rt.groups {
+		gi := r.Info()
+		info.Applied += gi.Applied
+		info.OpenSlots += gi.OpenSlots
+		info.PerGroup = append(info.PerGroup, gi)
+	}
+	return info
+}
+
+// String renders the info as the single key=value line INFO serves: the
+// aggregates, the shared WAL, then per-group applied/open-slot counts.
+func (i Info) String() string {
+	s := fmt.Sprintf("groups=%d applied=%d open_slots=%d durable=%t",
+		i.Groups, i.Applied, i.OpenSlots, i.Durable)
+	if i.Durable {
+		s += fmt.Sprintf(" wal_segments=%d wal_bytes=%d wal_next=%d wal_syncs=%d",
+			i.Wal.Segments, i.Wal.Bytes, i.Wal.NextIndex, i.Wal.Syncs)
+	}
+	for g, gi := range i.PerGroup {
+		s += fmt.Sprintf(" g%d_applied=%d g%d_open=%d", g, gi.Applied, g, gi.OpenSlots)
+	}
+	return s
+}
+
+// Put routes key to its group and replicates the write.
+func (rt *Runtime) Put(ctx context.Context, key, val string) error {
+	return smr.NewKV(rt.Route(key)).Put(ctx, key, val)
+}
+
+// Delete routes key to its group and replicates the delete.
+func (rt *Runtime) Delete(ctx context.Context, key string) error {
+	return smr.NewKV(rt.Route(key)).Delete(ctx, key)
+}
+
+// Get reads key from its group's local applied state.
+func (rt *Runtime) Get(key string) (string, bool) {
+	return rt.Route(key).Get(key)
+}
+
+// GetLinearizable reads key through its group's consensus log.
+func (rt *Runtime) GetLinearizable(ctx context.Context, key string) (string, bool, error) {
+	return smr.NewKV(rt.Route(key)).GetLinearizable(ctx, key)
+}

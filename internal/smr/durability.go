@@ -24,11 +24,42 @@ import (
 // resumes with its promises intact — the property the paper's recovery
 // rule (set R, Lemmas 3 and 7) assumes of a recovering acceptor.
 
+// Journal is the append-log surface the durability layer writes through.
+// *wal.WAL satisfies it; the sharded runtime (internal/shard) substitutes
+// per-group views of one process-wide WAL, so N groups share a single
+// group-commit stream and a single on-disk log.
+type Journal interface {
+	Append(payload []byte) (uint64, error)
+	AppendBuffered(payload []byte) (uint64, error)
+	Commit(index uint64) error
+	Sync() error
+	NextIndex() uint64
+	Stats() wal.Stats
+	TruncateBefore(index uint64) (int, error)
+	Replay(from uint64, fn func(index uint64, payload []byte) error) (wal.ReplayInfo, error)
+	Close() error
+	Abort() error
+}
+
 // DurabilityOptions configures EnableDurability.
 type DurabilityOptions struct {
 	// Dir is the data directory; the WAL lives in Dir/wal and snapshots in
 	// Dir/snap.
 	Dir string
+	// Journal, when non-nil, substitutes an externally owned journal for
+	// the WAL this call would otherwise open under Dir/wal — the sharded
+	// runtime passes per-group views of one process-wide WAL here (Dir
+	// then only hosts the snapshots). Ownership stays with the caller:
+	// Close leaves the journal open (the owner syncs and closes it once,
+	// after every sharer) and Kill does not abort it (the owner aborts
+	// before killing the sharers, see shard.Runtime.Kill).
+	Journal Journal
+	// Group tags every record this replica appends to the journal and
+	// filters replay: records carrying another group's id are skipped.
+	// Untagged records — every WAL written before sharding existed — belong
+	// to group 0, which is what makes the single-group layout read old
+	// logs unchanged.
+	Group int
 	// Policy is the WAL fsync policy. With SyncInterval the replica drives
 	// the sync from its own timer every SyncEvery.
 	Policy wal.SyncPolicy
@@ -62,7 +93,9 @@ type RecoveryInfo struct {
 
 // durable is the replica's persistence state (guarded by Replica.mu).
 type durable struct {
-	wal       *wal.WAL
+	wal       Journal
+	ownsWAL   bool // false: shared journal, lifecycle belongs to the sharer
+	group     int  // id tagged into records / matched on replay
 	snapDir   string
 	snapEvery int
 	policy    wal.SyncPolicy
@@ -92,9 +125,13 @@ const (
 	walKindDecide = "d" // a decision learned for a slot
 )
 
-// walEntry is the JSON payload of one WAL record.
+// walEntry is the JSON payload of one WAL record. G is the consensus group
+// that wrote it: groups interleave records in one shared WAL and recovery
+// demuxes on it. omitempty keeps group 0's records byte-identical to the
+// pre-sharding format, so old WALs replay as group 0 with no version bump.
 type walEntry struct {
 	Kind  string           `json:"k"`
+	G     int              `json:"g,omitempty"`
 	Slot  int              `json:"slot"`
 	State *core.State      `json:"st,omitempty"`
 	Val   *consensus.Value `json:"v,omitempty"`
@@ -137,28 +174,45 @@ func (r *Replica) EnableDurability(opts DurabilityOptions) (RecoveryInfo, error)
 			return RecoveryInfo{}, fmt.Errorf("smr durability: snapshot decode: %w", err)
 		}
 	}
-	w, oinfo, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{
-		SegmentBytes:   opts.SegmentBytes,
-		Policy:         opts.Policy,
-		FailpointLimit: opts.FailpointLimit,
-		SyncHook:       opts.SyncHook,
-	})
-	if err != nil {
-		return RecoveryInfo{}, fmt.Errorf("smr durability: %w", err)
+	var (
+		w     Journal
+		owns  bool
+		oinfo wal.OpenInfo
+	)
+	if opts.Journal != nil {
+		w = opts.Journal
+	} else {
+		ww, oi, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{
+			SegmentBytes:   opts.SegmentBytes,
+			Policy:         opts.Policy,
+			FailpointLimit: opts.FailpointLimit,
+			SyncHook:       opts.SyncHook,
+		})
+		if err != nil {
+			return RecoveryInfo{}, fmt.Errorf("smr durability: %w", err)
+		}
+		w, owns, oinfo = ww, true, oi
+	}
+	closeOwned := func() {
+		if owns {
+			w.Close()
+		}
 	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.dur != nil {
-		w.Close()
+		closeOwned()
 		return RecoveryInfo{}, fmt.Errorf("smr durability: already enabled")
 	}
 	if r.closed {
-		w.Close()
+		closeOwned()
 		return RecoveryInfo{}, ErrClosed
 	}
 	r.dur = &durable{
 		wal:       w,
+		ownsWAL:   owns,
+		group:     opts.Group,
 		snapDir:   snapDir,
 		snapEvery: opts.SnapshotEvery,
 		policy:    opts.Policy,
@@ -206,6 +260,9 @@ func (r *Replica) EnableDurability(opts DurabilityOptions) (RecoveryInfo, error)
 		if err := json.Unmarshal(payload, &e); err != nil {
 			return fmt.Errorf("smr durability: wal record decode: %w", err)
 		}
+		if e.G != opts.Group {
+			return nil // another group's record in the shared WAL
+		}
 		if e.Slot < snap.Applied {
 			return nil // superseded by the snapshot
 		}
@@ -225,7 +282,7 @@ func (r *Replica) EnableDurability(opts DurabilityOptions) (RecoveryInfo, error)
 		return nil
 	})
 	if err != nil {
-		w.Close()
+		closeOwned()
 		r.dur = nil
 		return RecoveryInfo{}, err
 	}
@@ -270,7 +327,7 @@ func (r *Replica) EnableDurability(opts DurabilityOptions) (RecoveryInfo, error)
 		}
 		node := core.NewUnchecked(r.cfg, core.ModeObject, core.DefaultOptions(), r.det)
 		if err := node.Restore(st); err != nil {
-			w.Close()
+			closeOwned()
 			r.dur = nil
 			return RecoveryInfo{}, fmt.Errorf("smr durability: slot %d: %w", slot, err)
 		}
@@ -369,6 +426,7 @@ func (r *Replica) persistFailLocked(err error) {
 // legacy path keeps the inline (group-committed) fsync of the pre-overhaul
 // hot path.
 func (r *Replica) appendEntryLocked(e walEntry, critical bool) bool {
+	e.G = r.dur.group
 	payload, err := json.Marshal(e)
 	if err != nil {
 		r.persistFailLocked(err)

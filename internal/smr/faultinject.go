@@ -42,27 +42,31 @@ func (r *Replica) Kill() error {
 	r.appliedW = make(map[int][]chan struct{})
 	tr := r.tr
 	// Detach the transport under the lock: the outbox consumer reloads it
-	// per batch, so entries still queued send nothing after this point.
+	// per entry owner, so entries still queued send nothing after this
+	// point.
 	r.tr = nil
 	b := r.batch
 	d := r.dur
-	started := r.obStarted
 	r.mu.Unlock()
 	if b != nil {
 		b.close()
 	}
 	var firstErr error
-	if d != nil {
+	if d != nil && d.ownsWAL {
 		// Abort the WAL BEFORE draining the outbox: queued group commits
 		// must fail — and fail their client wakeups — rather than make the
-		// "crashed" state durable.
+		// "crashed" state durable. With a shared journal the abort is the
+		// runtime's job, before it kills the groups (shard.Runtime.Kill).
 		if err := d.wal.Abort(); err != nil {
 			firstErr = err
 		}
 	}
-	r.ob.close()
-	if started {
-		<-r.outDone
+	if r.ioShared {
+		// The scheduler serves the process's other groups; a barrier makes
+		// this replica externally silent without stopping the stream.
+		r.io.barrier()
+	} else {
+		r.io.Close()
 	}
 	if tr != nil {
 		if err := tr.Close(); err != nil && firstErr == nil {

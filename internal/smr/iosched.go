@@ -1,0 +1,153 @@
+package smr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+)
+
+// IOScheduler is the out-of-lock I/O stage behind the outbox (outbox.go):
+// one consumer goroutine that, per batch of entries, group-commits the WAL
+// once, then sends messages and fires wakeups in FIFO order. Every replica
+// owns a private scheduler by default; the sharded runtime (internal/shard)
+// builds one scheduler and attaches every group's replica to it with
+// ShareIO, so fsyncs from all groups in a process coalesce into a single
+// group-commit stream — the scale-out payoff of the PR 4 outbox design.
+//
+// A shared scheduler implies shared fate: every attached replica must
+// append to the same underlying WAL (per-group views of it included), and
+// a commit failure poisons every replica with entries in flight, exactly
+// as a private scheduler poisons its one owner.
+type IOScheduler struct {
+	ob *outbox
+
+	// running flips once, when the first entry arrives; the consumer
+	// goroutine exits (closing done) when the owner calls Close.
+	running atomic.Bool
+	mu      sync.Mutex
+	done    chan struct{}
+}
+
+// NewSharedIO builds a scheduler intended to be shared by several replicas
+// via (*Replica).ShareIO. The caller owns it: call Close after every
+// attached replica has been closed or killed.
+func NewSharedIO() *IOScheduler { return newIOScheduler() }
+
+func newIOScheduler() *IOScheduler {
+	return &IOScheduler{ob: newOutbox()}
+}
+
+// start lazily spawns the consumer. The atomic fast path keeps the
+// per-entry cost of the check to one load once running.
+func (s *IOScheduler) start() {
+	if s.running.Load() {
+		return
+	}
+	s.mu.Lock()
+	if !s.running.Load() {
+		s.done = make(chan struct{})
+		s.running.Store(true)
+		go s.loop()
+	}
+	s.mu.Unlock()
+}
+
+// enqueue hands one entry to the consumer. Called under the producing
+// replica's lock; never blocks (the outbox is unbounded).
+func (s *IOScheduler) enqueue(e outboxEntry) {
+	s.start()
+	s.ob.enqueue(e)
+}
+
+// barrier blocks until every entry queued before the call has been fully
+// processed — WAL committed, messages sent, waiters woken. Replicas on a
+// shared scheduler use it where private owners would drain-and-stop: it
+// flushes their entries without tearing down the stream the other groups
+// are still using.
+func (s *IOScheduler) barrier() {
+	done := make(chan struct{})
+	s.enqueue(outboxEntry{done: done})
+	<-done
+}
+
+// Close drains queued entries and stops the consumer. Only the scheduler's
+// owner calls it: the replica itself for a private scheduler, the sharing
+// runtime — after closing every attached replica — for a shared one.
+func (s *IOScheduler) Close() {
+	s.ob.close()
+	s.mu.Lock()
+	running := s.running.Load()
+	done := s.done
+	s.mu.Unlock()
+	if running {
+		<-done
+	}
+}
+
+// loop is the single I/O consumer. Per batch it commits the journal once
+// to the highest index any entry depends on (group commit across every
+// step — and, shared, every group — in the batch), then sends and wakes in
+// FIFO order. A commit failure poisons each entry's replica; from then on
+// entries fail their waiters and send nothing.
+func (s *IOScheduler) loop() {
+	defer close(s.done)
+	failed := false
+	var failErr error
+	for {
+		batch, more := s.ob.take()
+		if len(batch) > 0 {
+			if !failed {
+				// Every entry in one scheduler targets the same underlying
+				// WAL (that is the contract of sharing), so committing
+				// through the journal of the entry with the highest index
+				// covers the whole batch.
+				var maxIdx uint64
+				var j Journal
+				for _, e := range batch {
+					if e.walIdx > maxIdx {
+						maxIdx = e.walIdx
+						j = e.r.journal()
+					}
+				}
+				if j != nil && maxIdx > 0 {
+					if err := j.Commit(maxIdx); err != nil {
+						failed = true
+						failErr = err
+					}
+				}
+			}
+			// The transport is reloaded per owner change, not per batch:
+			// Kill detaches it under the replica lock, and entries queued
+			// behind the detach must send nothing.
+			var lastR *Replica
+			var lastTr transport.Transport
+			for _, e := range batch {
+				if failed {
+					if e.r != nil {
+						e.r.ioFail(failErr)
+					}
+				} else if e.r != nil && len(e.msgs) > 0 {
+					if e.r != lastR {
+						lastR = e.r
+						lastTr = e.r.currentTransport()
+					}
+					if lastTr != nil {
+						for _, o := range e.msgs {
+							_ = lastTr.Send(o.to, o.msg)
+						}
+					}
+				}
+				for _, w := range e.wake {
+					w.fire(!failed)
+				}
+				if e.done != nil {
+					close(e.done)
+				}
+			}
+		}
+		if !more {
+			return
+		}
+	}
+}

@@ -51,16 +51,21 @@ func (w wakeup) fire(ok bool) {
 	}
 }
 
-// outboxEntry is one protocol step's deferred I/O. walIdx is the WAL index
-// that must be durable before msgs leave or wake fires (0: no durability
-// dependency — no WAL, or a policy that does not sync on the hot path).
-// Producers do NOT wait for their own entry — the pipeline is asynchronous,
-// which is what lets entries pile up behind an in-flight fsync and share
-// the next one. done is nil on hot-path entries; Replica.SyncIO enqueues a
-// sentinel entry whose done channel the consumer closes once everything
-// ahead of it (FIFO) has been committed, sent, and woken — a barrier for
-// callers that need a step's effects externally visible.
+// outboxEntry is one protocol step's deferred I/O. r is the replica the
+// step ran on — the consumer reads its transport and, on a commit failure,
+// poisons it; a shared scheduler (internal/shard) interleaves entries from
+// many replicas in one queue, so the owner travels with the entry (nil on
+// barrier sentinels). walIdx is the WAL index that must be durable before
+// msgs leave or wake fires (0: no durability dependency — no WAL, or a
+// policy that does not sync on the hot path). Producers do NOT wait for
+// their own entry — the pipeline is asynchronous, which is what lets
+// entries pile up behind an in-flight fsync and share the next one. done
+// is nil on hot-path entries; Replica.SyncIO enqueues a sentinel entry
+// whose done channel the consumer closes once everything ahead of it
+// (FIFO) has been committed, sent, and woken — a barrier for callers that
+// need a step's effects externally visible.
 type outboxEntry struct {
+	r      *Replica
 	walIdx uint64
 	msgs   []outbound
 	wake   []wakeup

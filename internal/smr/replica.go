@@ -106,14 +106,15 @@ type Replica struct {
 	freeHint int
 	propHint int
 
-	// Out-of-lock I/O (see outbox.go). wakes accumulates the wakeups of the
-	// current locked step; emitLocked drains it into the outbox. legacy
-	// reverts to in-lock fsync+send for baseline measurement.
-	ob        *outbox
-	obStarted bool
-	outDone   chan struct{}
-	wakes     []wakeup
-	legacy    bool
+	// Out-of-lock I/O (see outbox.go, iosched.go). io is private by default
+	// and shared across groups under the sharded runtime (ShareIO). wakes
+	// accumulates the wakeups of the current locked step; emitLocked drains
+	// it into the outbox. legacy reverts to in-lock fsync+send for baseline
+	// measurement.
+	io       *IOScheduler
+	ioShared bool
+	wakes    []wakeup
+	legacy   bool
 
 	// Anti-entropy state: the largest applied index any peer announced,
 	// and the compaction floor below which slot instances and log entries
@@ -151,8 +152,40 @@ func NewReplica(cfg consensus.Config, tick time.Duration) (*Replica, error) {
 		appliedW: make(map[int][]chan struct{}),
 		gens:     make(map[string]int64),
 		timers:   make(map[string]*time.Timer),
-		ob:       newOutbox(),
+		io:       newIOScheduler(),
 	}, nil
+}
+
+// ShareIO attaches the replica to a shared I/O scheduler (NewSharedIO):
+// its WAL commits, sends, and wakeups interleave with every other replica
+// on the same scheduler, and fsyncs coalesce across all of them — the
+// sharded runtime's single group-commit stream. The scheduler's owner must
+// Close it after the replicas; the replicas themselves only flush through
+// it. Call before EnableDurability/Start, and only with a durability setup
+// whose Journal targets the same underlying WAL as every other sharer.
+func (r *Replica) ShareIO(s *IOScheduler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.io = s
+	r.ioShared = true
+}
+
+// currentTransport reads the bound transport under the lock (the outbox
+// consumer reloads it per entry owner so Kill's detach is respected).
+func (r *Replica) currentTransport() transport.Transport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tr
+}
+
+// journal returns the durability journal, nil without durability.
+func (r *Replica) journal() Journal {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dur == nil {
+		return nil
+	}
+	return r.dur.wal
 }
 
 // ID returns this replica's process id.
@@ -615,20 +648,24 @@ func (r *Replica) Close() error {
 	tr := r.tr
 	b := r.batch
 	d := r.dur
-	started := r.obStarted
 	r.mu.Unlock()
 	if b != nil {
 		b.close()
 	}
 	// Drain the outbox before touching the WAL or transport: queued entries
-	// still commit and send through them.
-	r.ob.close()
-	if started {
-		<-r.outDone
+	// still commit and send through them. A shared scheduler stays up for
+	// the other replicas on it — a barrier flushes everything this replica
+	// queued (FIFO: everything ahead of it included) without stopping it.
+	if r.ioShared {
+		r.io.barrier()
+	} else {
+		r.io.Close()
 	}
 	var firstErr error
-	if d != nil {
+	if d != nil && d.ownsWAL {
 		// Close syncs: a graceful shutdown leaves no torn tail to recover.
+		// A shared journal is the runtime's to close, once, after every
+		// group.
 		if err := d.wal.Close(); err != nil {
 			firstErr = err
 		}
@@ -946,18 +983,8 @@ func (r *Replica) emitLocked(out []outbound) emitted {
 			idx = r.dur.critical
 		}
 	}
-	r.startOutboxLocked()
-	r.ob.enqueue(outboxEntry{walIdx: idx, msgs: out, wake: wakes})
+	r.io.enqueue(outboxEntry{r: r, walIdx: idx, msgs: out, wake: wakes})
 	return emitted{}
-}
-
-// startOutboxLocked lazily starts the I/O consumer goroutine.
-func (r *Replica) startOutboxLocked() {
-	if !r.obStarted {
-		r.obStarted = true
-		r.outDone = make(chan struct{})
-		go r.outboxLoop()
-	}
 }
 
 // completeEmit performs the legacy path's synchronous flush. On the outbox
@@ -986,59 +1013,10 @@ func (r *Replica) SyncIO() {
 	if r.dur != nil && r.dur.policy == wal.SyncAlways {
 		idx = r.dur.buffered
 	}
-	r.startOutboxLocked()
 	done := make(chan struct{})
-	r.ob.enqueue(outboxEntry{walIdx: idx, done: done})
+	r.io.enqueue(outboxEntry{r: r, walIdx: idx, done: done})
 	r.mu.Unlock()
 	<-done
-}
-
-// outboxLoop is the single I/O consumer: per batch of entries it commits
-// the WAL once (group commit across every step in the batch), then sends
-// and wakes in FIFO order. A commit failure poisons the replica; entries
-// from then on fail their waiters and send nothing.
-func (r *Replica) outboxLoop() {
-	defer close(r.outDone)
-	failed := false
-	for {
-		batch, more := r.ob.take()
-		if len(batch) > 0 {
-			r.mu.Lock()
-			tr := r.tr
-			d := r.dur
-			r.mu.Unlock()
-			if !failed && d != nil {
-				var maxIdx uint64
-				for _, e := range batch {
-					if e.walIdx > maxIdx {
-						maxIdx = e.walIdx
-					}
-				}
-				if maxIdx > 0 {
-					if err := d.wal.Commit(maxIdx); err != nil {
-						failed = true
-						r.ioFail(err)
-					}
-				}
-			}
-			for _, e := range batch {
-				if !failed && tr != nil {
-					for _, o := range e.msgs {
-						_ = tr.Send(o.to, o.msg)
-					}
-				}
-				for _, w := range e.wake {
-					w.fire(!failed)
-				}
-				if e.done != nil {
-					close(e.done)
-				}
-			}
-		}
-		if !more {
-			return
-		}
-	}
 }
 
 // ioFail poisons the replica after an out-of-lock I/O failure (the deferred

@@ -39,7 +39,7 @@ import (
 // Anything else on the first line is served as legacy protocol v1, one
 // command per line, replies in order.
 type Server struct {
-	replica *Replica
+	backend Backend
 	ln      net.Listener
 	timeout time.Duration
 
@@ -96,8 +96,50 @@ func (s *Server) Counters() ServerCounters {
 	}
 }
 
+// Backend routes server commands to replicas. A single replica is the
+// trivial backend (NewServer); the sharded runtime (internal/shard)
+// implements Backend so one server fronts every consensus group in the
+// process, routing each key to its group's replica.
+type Backend interface {
+	// Route returns the replica hosting key's consensus group. Every key
+	// must route somewhere: the server calls it only with non-empty keys.
+	Route(key string) *Replica
+	// Proxy returns the replica whose identity the session handshake
+	// advertises (the OHAI line) and whose Ω estimate seeds the client's
+	// leader-locality hint.
+	Proxy() *Replica
+	// StatsLine and InfoLine serve the STATS and INFO commands — the full
+	// reply line including the verb (or "ERR ...").
+	StatsLine() string
+	InfoLine() string
+}
+
+// singleBackend is the trivial Backend: every command targets one replica.
+type singleBackend struct{ r *Replica }
+
+func (b singleBackend) Route(string) *Replica { return b.r }
+func (b singleBackend) Proxy() *Replica       { return b.r }
+
+func (b singleBackend) StatsLine() string {
+	st, ok := b.r.TransportStats()
+	if !ok {
+		return "ERR no transport bound"
+	}
+	return "STATS " + st.String()
+}
+
+func (b singleBackend) InfoLine() string { return "INFO " + b.r.Info().String() }
+
 // NewServer starts serving clients of replica on addr.
 func NewServer(replica *Replica, addr string, opTimeout time.Duration) (*Server, error) {
+	return NewBackendServer(singleBackend{r: replica}, addr, opTimeout)
+}
+
+// NewBackendServer starts a server whose commands route through b — the
+// seam the sharded runtime plugs N consensus groups into. The wire
+// protocol is unchanged either way: clients cannot tell a sharded server
+// from a single-replica one.
+func NewBackendServer(b Backend, addr string, opTimeout time.Duration) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("smr server: %w", err)
@@ -105,7 +147,7 @@ func NewServer(replica *Replica, addr string, opTimeout time.Duration) (*Server,
 	if opTimeout <= 0 {
 		opTimeout = 30 * time.Second
 	}
-	s := &Server{replica: replica, ln: ln, timeout: opTimeout, conns: make(map[net.Conn]struct{})}
+	s := &Server{backend: b, ln: ln, timeout: opTimeout, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -246,7 +288,8 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, hello string) {
 		return
 	}
 	s.ctr.sessions.Add(1)
-	replies <- fmt.Sprintf("OHAI %d %d %d", ProtocolVersion, int(s.replica.ID()), int(s.replica.OmegaLeader()))
+	proxy := s.backend.Proxy()
+	replies <- fmt.Sprintf("OHAI %d %d %d", ProtocolVersion, int(proxy.ID()), int(proxy.OmegaLeader()))
 
 	slow := make(chan taggedCmd, sessionBacklog)
 	var execs sync.WaitGroup
@@ -354,23 +397,21 @@ func (s *Server) handleLine(line string) string {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
 	defer cancel()
-	kv := NewKV(s.replica)
+	// Key-bearing commands route through the backend once the key is
+	// parsed: each key lands on the replica of its consensus group, which
+	// for the trivial backend is always the same one.
 	switch strings.ToUpper(verb) {
 	case "PING":
 		return "PONG"
 	case "STATS":
-		st, ok := s.replica.TransportStats()
-		if !ok {
-			return "ERR no transport bound"
-		}
-		return "STATS " + st.String()
+		return s.backend.StatsLine()
 	case "INFO":
-		return "INFO " + s.replica.Info().String()
+		return s.backend.InfoLine()
 	case "GET":
 		if !hasArgs || rest == "" || strings.Contains(rest, " ") {
 			return "ERR usage: GET <key>"
 		}
-		if v, ok := kv.Get(rest); ok {
+		if v, ok := NewKV(s.backend.Route(rest)).Get(rest); ok {
 			return "VAL " + v
 		}
 		return "NONE"
@@ -381,7 +422,7 @@ func (s *Server) handleLine(line string) string {
 		if !hasArgs || rest == "" || strings.Contains(rest, " ") {
 			return "ERR usage: GETL <key>"
 		}
-		v, ok, err := kv.GetLinearizable(ctx, rest)
+		v, ok, err := NewKV(s.backend.Route(rest)).GetLinearizable(ctx, rest)
 		if err != nil {
 			return "ERR " + err.Error()
 		}
@@ -394,7 +435,7 @@ func (s *Server) handleLine(line string) string {
 		if !hasArgs || key == "" || !ok {
 			return "ERR usage: PUT <key> <value>"
 		}
-		if err := kv.Put(ctx, key, val); err != nil {
+		if err := NewKV(s.backend.Route(key)).Put(ctx, key, val); err != nil {
 			return "ERR " + err.Error()
 		}
 		return "OK"
@@ -402,7 +443,7 @@ func (s *Server) handleLine(line string) string {
 		if !hasArgs || rest == "" || strings.Contains(rest, " ") {
 			return "ERR usage: DEL <key>"
 		}
-		if err := kv.Delete(ctx, rest); err != nil {
+		if err := NewKV(s.backend.Route(rest)).Delete(ctx, rest); err != nil {
 			return "ERR " + err.Error()
 		}
 		return "OK"
