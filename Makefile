@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-groups microbench report examples vet lint cover fuzz crash chaos chaos-short clean
+.PHONY: all build test test-short race bench bench-groups bench-reads microbench report examples vet lint cover fuzz crash chaos chaos-short clean
 
 all: build vet lint test
 
@@ -38,6 +38,12 @@ bench:
 # docs/SHARDING.md.
 bench-groups:
 	$(GO) run ./cmd/bench -exp F8 -f8-json BENCH_F8.json
+
+# F9 read-mix figure: GETL latency/throughput across read ratios with the
+# three read paths (per-read no-op, coalesced barrier, lease) — regenerates
+# BENCH_F9.json; see docs/LEASES.md.
+bench-reads:
+	$(GO) run ./cmd/bench -exp F9 -f9-json BENCH_F9.json
 
 # Hot-path microbenchmarks (codec allocs, WAL group commit, full replica
 # pipeline) at a fixed iteration count so CI gets stable allocs/op without
@@ -85,14 +91,17 @@ chaos:
 	$(GO) test -tags chaos ./internal/chaos -run TestChaosFull -v \
 		-chaos.seed=$(SEED) -chaos.seeds=$(SEEDS) -timeout 1200s
 	$(GO) test ./internal/chaos -run TestShardedChaosLinearizable -count=1 -v -timeout 300s
+	$(GO) test ./internal/chaos -run 'TestLeaseChaosLinearizable|TestLeaseTeethZeroEpsilon' -count=1 -v -timeout 300s
 
 # Shrunk chaos campaign for per-push CI: fewer seeds, smaller scenarios,
 # plus the multi-group scenario (partitions + crash-restart through the
-# shared-WAL recovery demux — see docs/SHARDING.md).
+# shared-WAL recovery demux — see docs/SHARDING.md) and the lease scenario
+# (crash/partition the leaseholder mid-lease — see docs/LEASES.md).
 chaos-short:
 	$(GO) test -tags chaos ./internal/chaos -run TestChaosFull \
 		-chaos.seed=$(SEED) -chaos.seeds=5 -chaos.short -timeout 600s
 	$(GO) test ./internal/chaos -run TestShardedChaosLinearizable -count=1 -timeout 300s
+	$(GO) test ./internal/chaos -run 'TestLeaseChaosLinearizable|TestLeaseTeethZeroEpsilon' -count=1 -timeout 300s
 
 clean:
 	rm -rf out

@@ -38,6 +38,7 @@ func run() error {
 		f4JSON   = flag.String("f4-json", "", "run F4b and write its machine-readable report to this file (BENCH_F4.json)")
 		f7JSON   = flag.String("f7-json", "", "run F7 and write its machine-readable report to this file (BENCH_F7.json)")
 		f8JSON   = flag.String("f8-json", "", "run F8 and write its machine-readable report to this file (BENCH_F8.json)")
+		f9JSON   = flag.String("f9-json", "", "run F9 and write its machine-readable report to this file (BENCH_F9.json)")
 		pipeline = flag.Int("pipeline", 0, "session-client in-flight depth for F7's deep rows (0 = default 16)")
 	)
 	flag.Parse()
@@ -155,6 +156,30 @@ func run() error {
 			}
 		}
 	}
+	if *f9JSON != "" {
+		// Same arrangement as -f8-json: F9 runs once, report captured.
+		var kept []string
+		for _, id := range ids {
+			if id != "F9" {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+		start := time.Now()
+		res, report := bench.ReadMix()
+		if _, err := res.WriteTo(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "_F9 completed in %s_\n\n", time.Since(start).Round(time.Millisecond))
+		if err := writeF9JSON(*f9JSON, report); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, "F9", res); err != nil {
+				return err
+			}
+		}
+	}
 	for _, id := range ids {
 		start := time.Now()
 		res := exps[id]()
@@ -206,6 +231,15 @@ func writeF8JSON(path string, report *bench.GroupsReport) error {
 	wrapped := struct {
 		GeneratedAt string `json:"generatedAt"`
 		*bench.GroupsReport
+	}{time.Now().UTC().Format(time.RFC3339), report}
+	return writeJSON(path, wrapped)
+}
+
+// writeF9JSON commits the F9 report (BENCH_F9.json) the same way.
+func writeF9JSON(path string, report *bench.ReadsReport) error {
+	wrapped := struct {
+		GeneratedAt string `json:"generatedAt"`
+		*bench.ReadsReport
 	}{time.Now().UTC().Format(time.RFC3339), report}
 	return writeJSON(path, wrapped)
 }

@@ -68,6 +68,9 @@ func run() error {
 		fsyncIv = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
 		snapEv  = flag.Int("snap-every", 64, "applied commands between snapshots (<0 disables)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof and expvar debug endpoints on this address (e.g. 127.0.0.1:6060)")
+		leases  = flag.Bool("leases", false, "enable replicated leader leases: the stable Ω leader of each group auto-acquires a lease and serves GETL from local state (docs/LEASES.md)")
+		leaseD  = flag.Duration("lease-dur", 2*time.Second, "lease duration under -leases")
+		leaseE  = flag.Duration("lease-eps", 50*time.Millisecond, "lease clock-skew margin ε under -leases (2ε must be < -lease-dur)")
 	)
 	flag.Parse()
 
@@ -90,10 +93,14 @@ func run() error {
 			SnapshotEvery: *snapEv,
 		}
 	}
-	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *groups, *tickMS, *stats, *pprof, dur)
+	var lo *smr.LeaseOptions
+	if *leases {
+		lo = &smr.LeaseOptions{Duration: *leaseD, Epsilon: *leaseE, AutoGrant: true}
+	}
+	return replicaMain(*id, strings.Split(*peers, ","), *fFlag, *eFlag, *groups, *tickMS, *stats, *pprof, dur, lo)
 }
 
-func replicaMain(id int, peerList []string, f, e, groups, tickMS int, statsEvery time.Duration, pprofAddr string, dur *shard.Durability) error {
+func replicaMain(id int, peerList []string, f, e, groups, tickMS int, statsEvery time.Duration, pprofAddr string, dur *shard.Durability, lo *smr.LeaseOptions) error {
 	n := len(peerList)
 	cfg := consensus.Config{ID: consensus.ProcessID(id), N: n, F: f, E: e, Delta: 10}
 	// Replica mode always runs the multi-group runtime — with -groups 1 it
@@ -104,6 +111,7 @@ func replicaMain(id int, peerList []string, f, e, groups, tickMS int, statsEvery
 		Config:     cfg,
 		Tick:       time.Duration(tickMS) * time.Millisecond,
 		Durability: dur,
+		Leases:     lo,
 	})
 	if err != nil {
 		return err
@@ -154,6 +162,13 @@ func replicaMain(id int, peerList []string, f, e, groups, tickMS int, statsEvery
 				stats := make([]smr.BatchStats, rt.Groups())
 				for g := range stats {
 					stats[g] = rt.Group(g).BatchStats()
+				}
+				return stats
+			},
+			"kv.lease": func() any {
+				stats := make([]smr.LeaseStats, rt.Groups())
+				for g := range stats {
+					stats[g] = rt.Group(g).LeaseStats()
 				}
 				return stats
 			},

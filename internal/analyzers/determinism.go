@@ -27,6 +27,9 @@ var protocolPackages = map[string]bool{
 	"repro/internal/quorum":     true,
 	"repro/internal/wal":        true,
 	"repro/internal/shard":      true,
+	// The lease table is replayed from the log on recovery, so it must be
+	// as deterministic as the protocols: all time flows in as arguments.
+	"repro/internal/lease": true,
 }
 
 // IsProtocolPackage reports whether path is subject to the determinism

@@ -18,6 +18,7 @@ var hostPackages = map[string]bool{
 	"repro/internal/node":      true,
 	"repro/internal/chaos":     true,
 	"repro/internal/shard":     true,
+	"repro/internal/lease":     true,
 }
 
 // GoLifecycle requires every go statement in the host packages to spawn a

@@ -27,6 +27,7 @@ func Experiments(soakRuns int) map[string]func() *Result {
 		"F5":  Placement,
 		"F7":  SessionsF7,
 		"F8":  GroupsF8,
+		"F9":  ReadsF9,
 		"A1":  Ablation,
 	}
 }

@@ -28,14 +28,24 @@ type shardedCluster struct {
 	rebinds         []*rebind
 	trs             []transport.Transport
 
+	// leases, when non-nil, enables replicated leader leases on every
+	// group of every process (set before boot; survives crash-restart).
+	leases *smr.LeaseOptions
+
 	mu       sync.Mutex
 	runtimes []*shard.Runtime
 	down     map[int]bool
 }
 
 func newShardedCluster(dir string, n, f, e, groups int) (*shardedCluster, error) {
+	return newShardedClusterLeases(dir, n, f, e, groups, nil)
+}
+
+// newShardedClusterLeases is newShardedCluster with leader leases enabled
+// on every group (the lease chaos scenario).
+func newShardedClusterLeases(dir string, n, f, e, groups int, leases *smr.LeaseOptions) (*shardedCluster, error) {
 	c := &shardedCluster{
-		n: n, f: f, e: e, groups: groups,
+		n: n, f: f, e: e, groups: groups, leases: leases,
 		mesh:     transport.NewMesh(n),
 		dirs:     make([]string, n),
 		rebinds:  make([]*rebind, n),
@@ -69,6 +79,7 @@ func (c *shardedCluster) boot(i int) error {
 		Groups: c.groups,
 		Config: consensus.Config{ID: consensus.ProcessID(i), N: c.n, F: c.f, E: c.e, Delta: 10},
 		Tick:   time.Millisecond,
+		Leases: c.leases,
 		Durability: &shard.Durability{
 			Dir:           c.dirs[i],
 			Policy:        wal.SyncAlways,

@@ -1,0 +1,245 @@
+package lease
+
+import "testing"
+
+const (
+	ms  = int64(1e6)
+	dur = 100 * ms
+	eps = 10 * ms
+)
+
+func newTable(self int) *Table {
+	return New(Config{Self: self, Duration: dur, Epsilon: eps})
+}
+
+func TestOwnGrantWindowMargins(t *testing.T) {
+	tb := newTable(0)
+	tb.NoteProposed("p0-1", 1000)
+	ev := tb.ApplyGrant(0, "p0-1", dur, 5000)
+	if !ev.Granted || ev.Holder != 0 || ev.Revoked {
+		t.Fatalf("grant event = %+v", ev)
+	}
+	if !tb.HolderValid(1000) {
+		t.Fatal("valid from propose time")
+	}
+	// Expiry is t0+dur-eps, anchored at propose time, not apply time.
+	if tb.HolderValid(1000 + dur - eps) {
+		t.Fatal("must stop serving eps before nominal expiry")
+	}
+	if !tb.HolderValid(1000 + dur - eps - 1) {
+		t.Fatal("should serve right up to the margin")
+	}
+	if got := tb.Remaining(1000); got != dur-eps {
+		t.Fatalf("Remaining = %d, want %d", got, dur-eps)
+	}
+	if tb.Guarded(1000) {
+		t.Fatal("own lease must not guard ourselves")
+	}
+}
+
+func TestExpireCheckOneShot(t *testing.T) {
+	tb := newTable(0)
+	tb.NoteProposed("p0-1", 0)
+	tb.ApplyGrant(0, "p0-1", dur, 0)
+	if tb.ExpireCheck(dur - eps - 1) {
+		t.Fatal("not expired yet")
+	}
+	if !tb.ExpireCheck(dur - eps) {
+		t.Fatal("first check past expiry reports true")
+	}
+	if tb.ExpireCheck(dur - eps) {
+		t.Fatal("second check must not re-report")
+	}
+	if tb.HolderValid(dur - eps) {
+		t.Fatal("expired lease serves nothing")
+	}
+}
+
+func TestForeignGrantGuards(t *testing.T) {
+	tb := newTable(1)
+	ev := tb.ApplyGrant(0, "p0-7", dur, 2000)
+	if !ev.Granted || ev.Holder != 0 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if tb.HolderValid(2000) {
+		t.Fatal("foreign grant confers no serving rights")
+	}
+	// Guard extends eps past apply-time + dur: conservative superset of
+	// the holder's window (which ends eps *before* propose-time + dur).
+	if !tb.Guarded(2000 + dur + eps - 1) {
+		t.Fatal("guard must outlast the holder's window")
+	}
+	if tb.Guarded(2000 + dur + eps) {
+		t.Fatal("guard lapses after dur+eps")
+	}
+	if tb.GuardHolder() != 0 {
+		t.Fatalf("GuardHolder = %d, want 0", tb.GuardHolder())
+	}
+}
+
+func TestRevocationKeepsGuard(t *testing.T) {
+	tb := newTable(1)
+	tb.ApplyGrant(0, "p0-7", dur, 0)
+	// A command from a third replica revokes the applied-log lease...
+	ev := tb.ApplyCommand(2, 1*ms)
+	if !ev.Revoked {
+		t.Fatal("foreign command must revoke")
+	}
+	if tb.Holder() != -1 {
+		t.Fatalf("Holder = %d after revocation", tb.Holder())
+	}
+	// ...but the guard stays: replica 0 may not have applied the revoking
+	// command yet and could still be serving reads.
+	if !tb.Guarded(dur) {
+		t.Fatal("revocation must not lower the guard")
+	}
+	if tb.GuardHolder() != 0 {
+		t.Fatal("guard hint survives revocation")
+	}
+}
+
+func TestHolderOwnCommandsDoNotRevoke(t *testing.T) {
+	tb := newTable(0)
+	tb.NoteProposed("p0-1", 0)
+	tb.ApplyGrant(0, "p0-1", dur, 0)
+	if ev := tb.ApplyCommand(0, 1*ms); ev.Revoked || ev.Fenced {
+		t.Fatalf("holder's own command revoked/fenced its lease: %+v", ev)
+	}
+	if !tb.HolderValid(1 * ms) {
+		t.Fatal("lease must survive the holder's own writes")
+	}
+}
+
+func TestFencedInsideForeignGuard(t *testing.T) {
+	tb := newTable(1)
+	tb.ApplyGrant(0, "p0-7", dur, 0)
+	// Our own command applying while replica 0's lease is conservatively
+	// live: applied, but must not be acked as definite.
+	ev := tb.ApplyCommand(1, 1*ms)
+	if !ev.Fenced {
+		t.Fatal("own command inside a foreign guard must fence")
+	}
+	if !ev.Revoked {
+		t.Fatal("it still revokes the applied-log lease")
+	}
+	// After the guard lapses, our commands are clean.
+	if ev := tb.ApplyCommand(1, dur+eps+1); ev.Fenced {
+		t.Fatal("no fence after the guard lapses")
+	}
+	// Unknown proposers are never fenced (we didn't propose them) but
+	// revoke conservatively.
+	tb.ApplyGrant(0, "p0-8", dur, 2*dur)
+	if ev := tb.ApplyCommand(-1, 2*dur+1); ev.Fenced || !ev.Revoked {
+		t.Fatalf("unknown proposer: %+v", ev)
+	}
+}
+
+func TestTakeoverDefersOwnWindow(t *testing.T) {
+	tb := newTable(1)
+	tb.ApplyGrant(0, "p0-7", dur, 0) // guard until dur+eps
+	tb.NoteProposed("p1-1", 5*ms)
+	tb.ApplyGrant(1, "p1-1", 3*dur, 10*ms)
+	// The old holder may serve until the guard lapses; our window must
+	// not start before then even though we proposed at 5ms.
+	if tb.HolderValid(dur + eps - 1) {
+		t.Fatal("takeover must defer to the outgoing holder's guard")
+	}
+	if !tb.HolderValid(dur + eps) {
+		t.Fatal("window opens when the guard lapses")
+	}
+	// Expiry is still anchored at our propose time.
+	if tb.HolderValid(5*ms + 3*dur - eps) {
+		t.Fatal("expiry stays anchored at propose time")
+	}
+	// A short takeover grant whose deferred start passes its own expiry
+	// yields an empty window: conservative, never serves.
+	short := newTable(1)
+	short.ApplyGrant(0, "p0-7", dur, 0)
+	short.NoteProposed("p1-1", 5*ms)
+	short.ApplyGrant(1, "p1-1", dur, 10*ms)
+	for now := int64(0); now < 2*dur; now += ms {
+		if short.HolderValid(now) {
+			t.Fatalf("short takeover grant must never open (valid at %d)", now)
+		}
+	}
+}
+
+func TestReplayedOwnGrantConfersNothing(t *testing.T) {
+	// Crash-restart: the grant replays from the WAL with no pending entry
+	// (the propose-time anchor died with the process).
+	tb := newTable(0)
+	ev := tb.ApplyGrant(0, "p0-1", dur, 500)
+	if !ev.Granted {
+		t.Fatal("replayed grant still records the holder")
+	}
+	if tb.HolderValid(500) || tb.HolderValid(501) {
+		t.Fatal("crash-restart must forget serving rights")
+	}
+	if tb.Holder() != 0 {
+		t.Fatal("applied-log holder still tracked for revocation")
+	}
+}
+
+func TestExportImport(t *testing.T) {
+	// Holder exports its own valid lease with 2eps slack.
+	a := newTable(0)
+	a.NoteProposed("p0-1", 0)
+	a.ApplyGrant(0, "p0-1", dur, 0)
+	h, remain := a.Export(10 * ms)
+	if h != 0 || remain != (dur-eps-10*ms)+2*eps {
+		t.Fatalf("Export = (%d, %d)", h, remain)
+	}
+	// A fresh replica importing it must guard for the full remainder.
+	b := newTable(2)
+	b.Import(h, remain, 1000*ms)
+	if !b.Guarded(1000*ms + remain - 1) {
+		t.Fatal("import must guard for the exported remainder")
+	}
+	if b.Guarded(1000*ms + remain) {
+		t.Fatal("guard lapses after the remainder")
+	}
+	// Guard-only state re-exports as the residual duration.
+	h2, r2 := b.Export(1001 * ms)
+	if h2 != 0 || r2 != remain-1*ms {
+		t.Fatalf("re-export = (%d, %d)", h2, r2)
+	}
+	// Importing our own lease confers nothing (no propose anchor).
+	c := newTable(0)
+	c.Import(0, remain, 0)
+	if c.HolderValid(1) || c.Guarded(1) {
+		t.Fatal("own exported lease must be dropped on import")
+	}
+	// Nothing to export when idle.
+	if h3, r3 := a.Export(10 * dur); h3 != -1 || r3 != 0 {
+		t.Fatalf("idle export = (%d, %d)", h3, r3)
+	}
+}
+
+func TestUnsafeModeHasNoTeeth(t *testing.T) {
+	tb := New(Config{Self: 1, Duration: dur, Epsilon: eps, Unsafe: true})
+	tb.ApplyGrant(0, "p0-7", dur, 0)
+	if tb.Guarded(1) {
+		t.Fatal("unsafe mode must not guard")
+	}
+	if ev := tb.ApplyCommand(1, 1); ev.Fenced {
+		t.Fatal("unsafe mode must not fence")
+	}
+	// And the holder's own window has no margin: serves right up to
+	// t0+dur even though others assume nothing.
+	own := New(Config{Self: 0, Duration: dur, Epsilon: eps, Unsafe: true})
+	own.NoteProposed("p0-1", 0)
+	own.ApplyGrant(0, "p0-1", dur, 0)
+	if !own.HolderValid(dur - 1) {
+		t.Fatal("unsafe mode serves with zero margin")
+	}
+}
+
+func TestDropProposed(t *testing.T) {
+	tb := newTable(0)
+	tb.NoteProposed("p0-1", 0)
+	tb.DropProposed("p0-1")
+	tb.ApplyGrant(0, "p0-1", dur, 5)
+	if tb.HolderValid(6) {
+		t.Fatal("dropped proposal must not confer serving rights")
+	}
+}

@@ -42,6 +42,12 @@ type Detector struct {
 
 	epoch     int64
 	lastHeard []int64 // epoch at which each process was last heard
+
+	// Leader-stability tracking (LeaderStable): the current estimate and
+	// the epoch at which it last changed, refreshed on every Deliver/Tick.
+	lastLeader   consensus.ProcessID
+	leaderSince  int64
+	leaderInited bool
 }
 
 var (
@@ -101,6 +107,7 @@ func (d *Detector) Deliver(from consensus.ProcessID, m consensus.Message) []cons
 			d.lastHeard[from] = d.epoch
 		}
 	}
+	d.noteLeader()
 	return nil
 }
 
@@ -110,8 +117,31 @@ func (d *Detector) Tick(t consensus.TimerID) []consensus.Effect {
 		return nil
 	}
 	d.epoch++
+	d.noteLeader()
 	return []consensus.Effect{
 		consensus.Broadcast{Msg: &Heartbeat{}, Self: false},
 		consensus.StartTimer{Timer: TimerPeriod, After: d.cfg.Delta},
 	}
+}
+
+// noteLeader refreshes the stability tracking after any event that can
+// move the estimate.
+func (d *Detector) noteLeader() {
+	cur := d.Leader()
+	if !d.leaderInited || cur != d.lastLeader {
+		d.lastLeader = cur
+		d.leaderSince = d.epoch
+		d.leaderInited = true
+	}
+}
+
+// LeaderStable reports whether the current leader estimate has been
+// unchanged for at least minPeriods heartbeat periods. The lease
+// auto-grant timer uses it to avoid proposing grants during leader churn
+// (competing grants revoke each other — safe, but wasted rounds).
+func (d *Detector) LeaderStable(minPeriods int64) bool {
+	if !d.leaderInited {
+		return false
+	}
+	return d.Leader() == d.lastLeader && d.epoch-d.leaderSince >= minPeriods
 }

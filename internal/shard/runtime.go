@@ -86,6 +86,10 @@ type Options struct {
 	// (smr.EnableAdaptiveBatching) — the serving configuration; leave off
 	// for latency-measuring setups that want one command per slot.
 	AdaptiveBatch bool
+	// Leases, when non-nil, enables replicated leader leases on every
+	// group (smr.EnableLeases): each group tracks its own leaseholder, so
+	// GETLs on a key whose group this process leads are served locally.
+	Leases *smr.LeaseOptions
 }
 
 // New builds the runtime and recovers every group from the shared WAL (one
@@ -129,6 +133,14 @@ func New(opts Options) (*Runtime, error) {
 		r.ShareIO(rt.io)
 		if opts.AdaptiveBatch {
 			r.EnableAdaptiveBatching(0)
+		}
+		if opts.Leases != nil {
+			// Before EnableDurability: recovery replays grant commands into
+			// the lease table.
+			if err := r.EnableLeases(*opts.Leases); err != nil {
+				rt.abandon()
+				return nil, fmt.Errorf("shard: group %d: %w", g, err)
+			}
 		}
 		if opts.Durability != nil {
 			dir := opts.Durability.Dir
@@ -299,13 +311,54 @@ func (rt *Runtime) Route(key string) *smr.Replica {
 func (rt *Runtime) Proxy() *smr.Replica { return rt.groups[0] }
 
 // StatsLine implements smr.Backend: the shared transport's counters (the
-// wire is per-process, not per-group) prefixed with the group count.
+// wire is per-process, not per-group) prefixed with the group count. With
+// leases enabled the per-group lease counters are summed into one suffix
+// (lease_groups_held counts groups whose lease this process holds right
+// now); pre-lease consumers parse the unchanged prefix.
 func (rt *Runtime) StatsLine() string {
 	st, ok := rt.groups[0].TransportStats()
 	if !ok {
 		return "ERR no transport bound"
 	}
-	return fmt.Sprintf("STATS groups=%d %s", len(rt.groups), st.String())
+	line := fmt.Sprintf("STATS groups=%d %s", len(rt.groups), st.String())
+	var agg smr.LeaseStats
+	held := 0
+	for _, r := range rt.groups {
+		ls := r.LeaseStats()
+		if !ls.Enabled {
+			continue
+		}
+		agg.Enabled = true
+		if ls.Valid {
+			held++
+		}
+		agg.Hits += ls.Hits
+		agg.Misses += ls.Misses
+		agg.Expired += ls.Expired
+		agg.Revoked += ls.Revoked
+		agg.Grants += ls.Grants
+		agg.Refused += ls.Refused
+		agg.Fenced += ls.Fenced
+		agg.ReadRounds += ls.ReadRounds
+		agg.ReadCoalesced += ls.ReadCoalesced
+	}
+	if agg.Enabled {
+		agg.Valid = held > 0
+		agg.Holder = -1 // not meaningful summed across groups
+		line += fmt.Sprintf(" lease_groups_held=%d %s", held, agg.String())
+	}
+	return line
+}
+
+// GroupLeaders returns each group's Ω leader estimate — the per-group
+// leaseholder hint: grants are only proposed by a group's stable Ω leader,
+// so this is where each group's GETLs are expected to be servable locally.
+func (rt *Runtime) GroupLeaders() []consensus.ProcessID {
+	out := make([]consensus.ProcessID, len(rt.groups))
+	for g, r := range rt.groups {
+		out[g] = r.OmegaLeader()
+	}
+	return out
 }
 
 // InfoLine implements smr.Backend.
@@ -348,6 +401,10 @@ func (i Info) String() string {
 	}
 	for g, gi := range i.PerGroup {
 		s += fmt.Sprintf(" g%d_applied=%d g%d_open=%d", g, gi.Applied, g, gi.OpenSlots)
+		if gi.Lease != nil {
+			s += fmt.Sprintf(" g%d_lease_holder=%d g%d_lease_valid=%t",
+				g, gi.Lease.Holder, g, gi.Lease.Valid)
+		}
 	}
 	return s
 }

@@ -271,6 +271,12 @@ func (b *batcher) flushOne(cmds []Command, waiters []chan error) {
 	if err == nil {
 		err = b.replica.WaitApplied(ctx, slot)
 	}
+	if err == nil && b.replica.takeFenced(slot) {
+		// Same downgrade as Submit: the chunk applied, but a concurrent
+		// leaseholder may not have observed it, so the ack must stay
+		// ambiguous rather than definite.
+		err = ErrLeaseFenced
+	}
 	for _, ch := range waiters {
 		ch <- err
 	}

@@ -34,6 +34,13 @@ type CatchupReply struct {
 	Applied int                     `json:"applied"`
 	Store   map[string]string       `json:"store"`
 	Decided map[int]consensus.Value `json:"decided,omitempty"`
+	// LeaseHolder/LeaseRemain export the sender's lease view (holder and
+	// remaining guard duration in nanoseconds) when leases are enabled: a
+	// snapshot jump skips the grant applies, so the receiver imports the
+	// guard window instead (see lease.Table.Export). Pointer so replies
+	// from lease-free replicas stay byte-identical to the old encoding.
+	LeaseHolder *int  `json:"leaseHolder,omitempty"`
+	LeaseRemain int64 `json:"leaseRemain,omitempty"`
 }
 
 // Kind implements consensus.Message.

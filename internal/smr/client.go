@@ -64,6 +64,9 @@ func ambiguousReply(reply string) bool {
 		// Session-protocol refusals issued before the command is parsed
 		// or queued: nothing entered consensus.
 		"ERR line too long", "ERR busy", "ERR bad frame",
+		// A lease-held refusal happens before the command is proposed
+		// (internal/lease): the named leaseholder must be dialed instead.
+		"ERR lease held",
 	}
 	for _, d := range definite {
 		if strings.HasPrefix(reply, d) {

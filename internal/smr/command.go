@@ -27,6 +27,11 @@ const (
 	// OpBatch groups several commands decided in one consensus instance;
 	// Subs carries them, applied in order.
 	OpBatch Op = "batch"
+	// OpLeaseGrant replicates a leader-lease grant (see internal/lease):
+	// Key holds the holder's process ID in decimal, Val the grant length
+	// in nanoseconds. Reusing Key/Val keeps the hand-spliced encoder and
+	// the on-disk WAL format unchanged.
+	OpLeaseGrant Op = "lease"
 )
 
 // Command is one state-machine command.

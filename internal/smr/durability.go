@@ -148,6 +148,14 @@ type durableSnapshot struct {
 	WalNext      uint64                  `json:"walNext"`
 	Slots        map[int]core.State      `json:"slots,omitempty"`
 	Log          map[int]consensus.Value `json:"log,omitempty"`
+	// LeaseHolder/LeaseRemain persist the lease view as (holder, residual
+	// guard ns) — a duration, so recovery (at any later real time) imports
+	// a window no shorter than the true one. Own serving rights are never
+	// exported to the snapshot's own replica: Import drops self-grants, so
+	// a crash-restart always forgets its lease. omitempty keeps lease-free
+	// snapshots byte-identical to the old format.
+	LeaseHolder *int  `json:"leaseHolder,omitempty"`
+	LeaseRemain int64 `json:"leaseRemain,omitempty"`
 }
 
 // EnableDurability opens (or creates) the durability state under opts.Dir
@@ -244,6 +252,9 @@ func (r *Replica) EnableDurability(opts DurabilityOptions) (RecoveryInfo, error)
 			if slot >= r.applied {
 				r.log[slot] = v
 			}
+		}
+		if r.ls != nil && snap.LeaseHolder != nil {
+			r.ls.tab.Import(*snap.LeaseHolder, snap.LeaseRemain, r.ls.now())
 		}
 	}
 
@@ -497,13 +508,21 @@ func (r *Replica) noteSlotCreatedLocked(slot int, node *core.Node) {
 }
 
 // persistDecideLocked journals a decision before it is applied or any
-// waiter observes it.
+// waiter observes it. Bare read no-ops skip the decide record entirely:
+// they carry no state, and the slot's decision is still recoverable — a
+// replica that ran the instance journals it inside the slot's state record
+// (persistSlotLocked fires at decide time because State.Decided moved),
+// and a replica that merely adopted the decide re-learns it from peers via
+// catchup, exactly like a dropped decide message.
 func (r *Replica) persistDecideLocked(slot int, v consensus.Value) bool {
 	if r.dur == nil {
 		return true
 	}
 	if r.dur.err != nil {
 		return false
+	}
+	if isNoopValue(v.Data) {
+		return true
 	}
 	return r.appendEntryLocked(walEntry{Kind: walKindDecide, Slot: slot, Val: &v}, false)
 }
@@ -551,6 +570,12 @@ func (r *Replica) writeSnapshotLocked() {
 				snap.Log = make(map[int]consensus.Value)
 			}
 			snap.Log[slot] = v
+		}
+	}
+	if r.ls != nil {
+		if h, remain := r.ls.tab.Export(r.ls.now()); h >= 0 && remain > 0 {
+			snap.LeaseHolder = &h
+			snap.LeaseRemain = remain
 		}
 	}
 	blob, err := json.Marshal(snap)
@@ -622,11 +647,17 @@ type ReplicaInfo struct {
 	WalNextIndex  uint64 `json:"walNextIndex,omitempty"`
 	WalSyncs      uint64 `json:"walSyncs,omitempty"`
 	SnapshotIndex int    `json:"snapshotIndex,omitempty"`
+	// Lease is present when EnableLeases was called (see LeaseStats).
+	Lease *LeaseStats `json:"lease,omitempty"`
 }
 
 // Info reports the replica's applied index, open slots, and durability
 // state.
 func (r *Replica) Info() ReplicaInfo {
+	var lst *LeaseStats
+	if st := r.LeaseStats(); st.Enabled {
+		lst = &st
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	open := 0
@@ -639,6 +670,7 @@ func (r *Replica) Info() ReplicaInfo {
 		Applied:      r.applied,
 		OpenSlots:    open,
 		CompactFloor: r.compactFloor,
+		Lease:        lst,
 	}
 	if r.dur != nil {
 		st := r.dur.wal.Stats()
@@ -660,6 +692,10 @@ func (i ReplicaInfo) String() string {
 	if i.Durable {
 		s += fmt.Sprintf(" wal_segments=%d wal_bytes=%d wal_next=%d wal_syncs=%d snapshot_index=%d",
 			i.WalSegments, i.WalBytes, i.WalNextIndex, i.WalSyncs, i.SnapshotIndex)
+	}
+	if i.Lease != nil {
+		s += fmt.Sprintf(" lease_holder=%d lease_valid=%t lease_hits=%d lease_misses=%d read_rounds=%d read_coalesced=%d",
+			i.Lease.Holder, i.Lease.Valid, i.Lease.Hits, i.Lease.Misses, i.Lease.ReadRounds, i.Lease.ReadCoalesced)
 	}
 	return s
 }

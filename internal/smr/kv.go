@@ -59,12 +59,28 @@ func (kv *KV) Get(key string) (string, bool) {
 	return kv.proxy.Get(key)
 }
 
-// GetLinearizable performs a linearizable read: it replicates a no-op
-// command through consensus and reads the local state after applying up to
-// that command's slot. Any write acknowledged before this call started
-// occupies an earlier slot and is therefore visible.
+// GetLinearizable performs a linearizable read, three-tiered:
+//
+//  1. The proxy holds a valid lease → serve from local applied state with
+//     zero network round trips (the lease grant was replicated through
+//     consensus, so every other replica refuses to acknowledge commands
+//     the leaseholder has not applied — see internal/lease).
+//  2. No lease anywhere → replicate a no-op read barrier and read local
+//     state; concurrent reads coalesce behind shared rounds (readbarrier.go).
+//  3. Another replica holds the lease → the barrier is refused with
+//     ErrLeaseHeld carrying the holder ("ERR lease held by replica N" on
+//     the wire), which SessionClient's PreferLeader redial follows to the
+//     leaseholder.
+//
+// Any write acknowledged before this call started is visible in all tiers:
+// tier 1 because acknowledgements elsewhere are refused or fenced while
+// the lease is live, tier 2 because an acknowledged write's slot decides
+// below the barrier no-op's slot.
 func (kv *KV) GetLinearizable(ctx context.Context, key string) (string, bool, error) {
-	if err := kv.execute(ctx, Command{Op: OpNoop}); err != nil {
+	if v, ok, served := kv.proxy.LeaseRead(key); served {
+		return v, ok, nil
+	}
+	if err := kv.proxy.ReadBarrier(ctx); err != nil {
 		return "", false, err
 	}
 	v, ok := kv.proxy.Get(key)

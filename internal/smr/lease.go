@@ -1,0 +1,431 @@
+package smr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/lease"
+)
+
+// ErrLeaseHeld is the definite pre-propose refusal a replica gives while a
+// foreign lease is conservatively live: the command was never proposed, so
+// retrying it elsewhere (at the leaseholder) is always safe. Match with
+// errors.Is; the concrete *LeaseHeldError carries the holder hint.
+var ErrLeaseHeld = errors.New("smr: lease held")
+
+// ErrLeaseFenced reports that a command was decided and applied while a
+// foreign lease was still conservatively live at its proposer: the holder
+// may have served linearizable reads that missed it, so the caller must
+// treat the outcome as ambiguous (the command IS applied, but it must not
+// be advertised as a definite, ordered success).
+var ErrLeaseFenced = errors.New("lease fenced: command applied but a concurrent leaseholder may not have observed it")
+
+// LeaseHeldError is the refusal returned for commands proposed at a
+// non-leaseholder while the lease is live. Its text is what the server
+// renders on the wire ("ERR lease held by replica N"): SessionClient's
+// PreferLeader redial parses the holder back out and moves the session.
+type LeaseHeldError struct {
+	// Holder is the replica believed to hold the lease.
+	Holder int
+}
+
+func (e *LeaseHeldError) Error() string {
+	return fmt.Sprintf("lease held by replica %d", e.Holder)
+}
+
+// Is matches ErrLeaseHeld so callers use errors.Is without knowing the
+// concrete type, and ErrRejected because the refusal happens before the
+// command is proposed: it definitely did not execute, so it sits on the
+// definite side of the client error taxonomy.
+func (e *LeaseHeldError) Is(target error) bool {
+	return target == ErrLeaseHeld || target == ErrRejected
+}
+
+// leaseHeldPrefix is the wire form of LeaseHeldError behind "ERR ".
+const leaseHeldPrefix = "ERR lease held by replica "
+
+// LeaseOptions configures replicated leader leases (EnableLeases).
+type LeaseOptions struct {
+	// Duration is the grant length. Default 2s.
+	Duration time.Duration
+	// Epsilon is the clock-skew safety margin ε: the holder stops serving
+	// ε before nominal expiry, everyone else keeps blocking ε after it.
+	// Default 50ms. Must satisfy 2ε < Duration.
+	Epsilon time.Duration
+	// Renew is the renew-ahead window: the auto-grant timer proposes a
+	// fresh grant when less than this much of the lease remains. Default
+	// Duration/3.
+	Renew time.Duration
+	// AutoGrant arms a timer that acquires and renews the lease whenever
+	// this replica is the stable Ω leader. Off, leases are only taken by
+	// explicit AcquireLease calls (tests, benches).
+	AutoGrant bool
+	// UnsafeZeroEpsilon forces ε=0 AND disables the guard window and
+	// fencing — the deliberately broken mode that the ε=0 teeth test uses
+	// to prove the linearizability checker catches stale lease reads.
+	// Never enable outside tests.
+	UnsafeZeroEpsilon bool
+}
+
+// leaseState is the replica-side lease machinery around the deterministic
+// lease.Table. All fields are guarded by Replica.mu except opts/start,
+// which are immutable after EnableLeases.
+type leaseState struct {
+	tab   *lease.Table
+	opts  LeaseOptions
+	start time.Time // monotonic origin for now()
+
+	inFlight bool // a grant proposal is in flight (auto-renew dedup)
+
+	// fenced marks applied slots whose command was proposed by this
+	// replica inside a foreign guard window; Submit downgrades their acks
+	// to ErrLeaseFenced. Bounded: purged below applied-fencedRetain.
+	fenced map[int]bool
+
+	hits, misses, expired, revoked uint64
+	refused, fencedN, grants       uint64
+}
+
+// now reads this replica's monotonic clock (nanoseconds since
+// EnableLeases); time.Since uses the runtime's monotonic reading, so wall
+// clock jumps cannot move lease windows.
+func (ls *leaseState) now() int64 { return time.Since(ls.start).Nanoseconds() }
+
+const (
+	fencedRetain    = 4096
+	fencedPurgeSize = 256
+)
+
+// EnableLeases switches on replicated leader leases for this replica. Must
+// be called before EnableDurability (recovery replays grant commands into
+// the lease table — a replayed own grant deliberately confers no serving
+// rights, while a replayed foreign grant must raise the conservative guard)
+// and before Start (which arms the auto-grant timer).
+func (r *Replica) EnableLeases(opts LeaseOptions) error {
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * time.Second
+	}
+	if opts.UnsafeZeroEpsilon {
+		opts.Epsilon = 0
+	} else if opts.Epsilon <= 0 {
+		opts.Epsilon = 50 * time.Millisecond
+	}
+	if !opts.UnsafeZeroEpsilon && 2*opts.Epsilon >= opts.Duration {
+		return fmt.Errorf("smr leases: 2ε (%v) must be smaller than the lease duration (%v)", 2*opts.Epsilon, opts.Duration)
+	}
+	if opts.Renew <= 0 {
+		opts.Renew = opts.Duration / 3
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if r.dur != nil {
+		return errors.New("smr leases: EnableLeases must precede EnableDurability (recovery replays grants)")
+	}
+	if r.ls != nil {
+		return errors.New("smr leases: already enabled")
+	}
+	r.ls = &leaseState{
+		tab: lease.New(lease.Config{
+			Self:     int(r.cfg.ID),
+			Duration: opts.Duration.Nanoseconds(),
+			Epsilon:  opts.Epsilon.Nanoseconds(),
+			Unsafe:   opts.UnsafeZeroEpsilon,
+		}),
+		opts:   opts,
+		start:  time.Now(),
+		fenced: make(map[int]bool),
+	}
+	return nil
+}
+
+// proposerOf extracts the proposing replica from a command ID ("p3-17",
+// "p3-batch-4" → 3). Unknown shapes (sub-commands, external IDs) map to -1:
+// the lease table treats them as foreign, which revokes conservatively and
+// never fences. A forged "pN-" prefix cannot break safety — refusal and
+// fencing key on the *proposing replica's own* guard state, not on the ID;
+// proposer identity only decides whether a command renews or revokes.
+func proposerOf(id string) int {
+	i := strings.IndexByte(id, '-')
+	if i < 2 || id[0] != 'p' {
+		return -1
+	}
+	n, err := strconv.Atoi(id[1:i])
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// applyLeaseLocked runs the lease state machine for one applied command.
+// Called from applyCommandLocked with r.applied still naming the slot being
+// applied.
+func (r *Replica) applyLeaseLocked(cmd Command, proposer int) {
+	now := r.ls.now()
+	if cmd.Op == OpLeaseGrant {
+		h, errH := strconv.Atoi(cmd.Key)
+		dur, errD := strconv.ParseInt(cmd.Val, 10, 64)
+		if errH != nil || errD != nil || h < 0 || h >= r.cfg.N || dur <= 0 {
+			return // malformed grant: ignore rather than poison the table
+		}
+		if ev := r.ls.tab.ApplyGrant(h, cmd.ID, dur, now); ev.Granted {
+			r.ls.grants++
+			if ev.Revoked {
+				r.ls.revoked++
+			}
+		}
+		return
+	}
+	ev := r.ls.tab.ApplyCommand(proposer, now)
+	if ev.Revoked {
+		r.ls.revoked++
+	}
+	if ev.Fenced {
+		r.ls.fencedN++
+		r.ls.fenced[r.applied] = true
+		if len(r.ls.fenced) > fencedPurgeSize {
+			for s := range r.ls.fenced {
+				if s < r.applied-fencedRetain {
+					delete(r.ls.fenced, s)
+				}
+			}
+		}
+	}
+}
+
+// takeFenced consumes the fenced mark for a slot (set while applying it).
+func (r *Replica) takeFenced(slot int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ls == nil || !r.ls.fenced[slot] {
+		return false
+	}
+	delete(r.ls.fenced, slot)
+	return true
+}
+
+// leaseRefuseLocked implements the pre-propose gate: while a foreign lease
+// is conservatively live this replica must not acknowledge commands it
+// proposes (the holder could serve reads that miss them), so it refuses
+// them outright — a definite rejection carrying the holder hint, safe to
+// retry at the leaseholder.
+func (r *Replica) leaseRefuseLocked() error {
+	if r.ls == nil {
+		return nil
+	}
+	now := r.ls.now()
+	if r.ls.tab.ExpireCheck(now) {
+		r.ls.expired++
+	}
+	if !r.ls.tab.Guarded(now) {
+		return nil
+	}
+	r.ls.refused++
+	return &LeaseHeldError{Holder: r.ls.tab.GuardHolder()}
+}
+
+// LeaseRead serves a linearizable read from local applied state when this
+// replica holds a valid lease. served=false means the caller must fall
+// back to a read barrier (or a leader hint).
+func (r *Replica) LeaseRead(key string) (val string, ok, served bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ls == nil || r.closed {
+		return "", false, false
+	}
+	now := r.ls.now()
+	if r.ls.tab.ExpireCheck(now) {
+		r.ls.expired++
+	}
+	if !r.ls.tab.HolderValid(now) {
+		r.ls.misses++
+		return "", false, false
+	}
+	r.ls.hits++
+	val, ok = r.getLocked(key)
+	return val, ok, true
+}
+
+// AcquireLease replicates a lease grant naming this replica as holder. It
+// returns once the grant is decided and applied here; the serving window
+// anchors at propose time and may open slightly later if a previous
+// holder's guard is still running (HoldsLease reports the live state).
+// Grants bypass the write batcher deliberately: a grant folded into an
+// OpBatch would lose its identity as a grant command.
+func (r *Replica) AcquireLease(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if r.ls == nil {
+		r.mu.Unlock()
+		return errors.New("smr leases: not enabled")
+	}
+	r.seq++
+	id := fmt.Sprintf("%s-%d", r.cfg.ID, r.seq)
+	durNs := r.ls.opts.Duration.Nanoseconds()
+	// Propose-time anchor, recorded before the command can possibly apply
+	// anywhere: every replica's guard window starts at or after it.
+	r.ls.tab.NoteProposed(id, r.ls.now())
+	r.mu.Unlock()
+
+	cmd := Command{
+		ID:  id,
+		Op:  OpLeaseGrant,
+		Key: strconv.Itoa(int(r.cfg.ID)),
+		Val: strconv.FormatInt(durNs, 10),
+	}
+	slot, err := r.Execute(ctx, cmd)
+	if err == nil {
+		err = r.WaitApplied(ctx, slot)
+	}
+	if err != nil {
+		r.mu.Lock()
+		if r.ls != nil {
+			// If the grant decides anyway it applies without a pending
+			// entry and confers no serving rights — conservative.
+			r.ls.tab.DropProposed(id)
+		}
+		r.mu.Unlock()
+	}
+	return err
+}
+
+// HoldsLease reports whether this replica can serve lease reads right now.
+func (r *Replica) HoldsLease() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ls != nil && r.ls.tab.HolderValid(r.ls.now())
+}
+
+// scheduleLeaseLocked (re)arms the auto-grant/renew timer. Period is a
+// fraction of the renew window so expiry is noticed promptly.
+func (r *Replica) scheduleLeaseLocked() {
+	const key = "smr/lease"
+	period := r.ls.opts.Renew / 2
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	r.gens[key]++
+	gen := r.gens[key]
+	if t, ok := r.timers[key]; ok {
+		t.Stop()
+	}
+	r.timers[key] = time.AfterFunc(period, func() {
+		r.mu.Lock()
+		if r.closed || r.ls == nil || r.gens[key] != gen {
+			r.mu.Unlock()
+			return
+		}
+		r.scheduleLeaseLocked()
+		now := r.ls.now()
+		if r.ls.tab.ExpireCheck(now) {
+			r.ls.expired++
+		}
+		propose := false
+		// Only the stable Ω leader volunteers: one likely grantee per
+		// group, so competing grants (each revoking the other) stay a
+		// transient of leader churn, not the steady state.
+		if !r.ls.inFlight && r.det.Leader() == r.cfg.ID && r.det.LeaderStable(2) {
+			if r.ls.tab.HolderValid(now) {
+				propose = r.ls.tab.Remaining(now) < r.ls.opts.Renew.Nanoseconds()
+			} else {
+				propose = !r.ls.tab.Guarded(now)
+			}
+		}
+		if propose {
+			r.ls.inFlight = true
+		}
+		dur := r.ls.opts.Duration
+		r.mu.Unlock()
+		if !propose {
+			return
+		}
+		// Runs in the AfterFunc goroutine: bounded by the context, and
+		// gens-invalidated timers simply never reach here again.
+		ctx, cancel := context.WithTimeout(context.Background(), dur)
+		_ = r.AcquireLease(ctx)
+		cancel()
+		r.mu.Lock()
+		if r.ls != nil {
+			r.ls.inFlight = false
+		}
+		r.mu.Unlock()
+	})
+}
+
+// LeaseStats is a point-in-time snapshot of the lease and read-path
+// counters, surfaced through STATS and expvar.
+type LeaseStats struct {
+	// Enabled: EnableLeases was called.
+	Enabled bool `json:"enabled"`
+	// Valid: this replica holds a live lease right now.
+	Valid bool `json:"valid"`
+	// Holder is the applied-log leaseholder (-1 none/revoked).
+	Holder int `json:"holder"`
+	// Hits/Misses count GETLs served from the local lease vs fallen back.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Expired counts own-lease expiries; Revoked counts applied-log
+	// revocations (a command from a non-holder); Grants counts applied
+	// grants.
+	Expired uint64 `json:"expired"`
+	Revoked uint64 `json:"revoked"`
+	Grants  uint64 `json:"grants"`
+	// Refused counts commands rejected pre-propose under a foreign lease;
+	// Fenced counts commands applied but downgraded to ambiguous.
+	Refused uint64 `json:"refused"`
+	Fenced  uint64 `json:"fenced"`
+	// ReadRounds / ReadCoalesced count no-op read barriers and the extra
+	// GETLs that shared one (tracked even with leases disabled).
+	ReadRounds    uint64 `json:"readRounds"`
+	ReadCoalesced uint64 `json:"readCoalesced"`
+}
+
+// String renders the snapshot in the STATS line's key=value idiom.
+func (st LeaseStats) String() string {
+	return fmt.Sprintf(
+		"lease_valid=%t lease_holder=%d lease_hits=%d lease_misses=%d lease_expired=%d lease_revoked=%d lease_grants=%d lease_refused=%d lease_fenced=%d read_rounds=%d read_coalesced=%d",
+		st.Valid, st.Holder, st.Hits, st.Misses, st.Expired, st.Revoked,
+		st.Grants, st.Refused, st.Fenced, st.ReadRounds, st.ReadCoalesced)
+}
+
+// LeaseStats snapshots the lease/read counters.
+func (r *Replica) LeaseStats() LeaseStats {
+	r.rgate.mu.Lock()
+	st := LeaseStats{
+		Holder:        -1,
+		ReadRounds:    r.rgate.rounds,
+		ReadCoalesced: r.rgate.coalesced,
+	}
+	r.rgate.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ls == nil {
+		return st
+	}
+	st.Enabled = true
+	st.Valid = r.ls.tab.HolderValid(r.ls.now())
+	st.Holder = r.ls.tab.Holder()
+	st.Hits, st.Misses = r.ls.hits, r.ls.misses
+	st.Expired, st.Revoked, st.Grants = r.ls.expired, r.ls.revoked, r.ls.grants
+	st.Refused, st.Fenced = r.ls.refused, r.ls.fencedN
+	return st
+}
+
+// isNoopValue reports whether an encoded command is a bare read no-op.
+// Sound by construction: AppendJSONString escapes every '"', so no key or
+// value a client controls can make a different command's encoding end in
+// an unescaped `,"op":"noop"}` — only a Subs-free, Key/Val-free OpNoop
+// does (a no-op with operands set encodes trailing fields and is treated,
+// conservatively, as a write).
+func isNoopValue(data string) bool {
+	return strings.HasSuffix(data, `,"op":"noop"}`)
+}

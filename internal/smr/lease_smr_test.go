@@ -1,0 +1,591 @@
+package smr_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// leaseClusterOptions configures startLeaseCluster.
+type leaseClusterOptions struct {
+	tick  time.Duration
+	lease *smr.LeaseOptions // nil: leases stay off
+	// durable enables a per-replica WAL under a temp dir (SyncAlways).
+	durable bool
+	// syncHook, when set, is installed on replica 0's WAL only.
+	syncHook func()
+}
+
+// startLeaseCluster boots n replicas over an in-process mesh with the
+// given lease/durability configuration. The returned dirs are the data
+// directories (empty strings without durability).
+func startLeaseCluster(t testing.TB, n, f, e int, o leaseClusterOptions) ([]*smr.Replica, []string, *transport.Mesh, func()) {
+	t.Helper()
+	mesh := transport.NewMesh(n)
+	base := ""
+	if o.durable {
+		base = t.TempDir()
+	}
+	replicas := make([]*smr.Replica, n)
+	dirs := make([]string, n)
+	for i := 0; i < n; i++ {
+		cfg := consensus.Config{ID: consensus.ProcessID(i), N: n, F: f, E: e, Delta: 10}
+		r, err := smr.NewReplica(cfg, o.tick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.lease != nil {
+			if err := r.EnableLeases(*o.lease); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if o.durable {
+			dirs[i] = filepath.Join(base, fmt.Sprintf("r%d", i))
+			opts := smr.DurabilityOptions{Dir: dirs[i], Policy: wal.SyncAlways}
+			if i == 0 {
+				opts.SyncHook = o.syncHook
+			}
+			if _, err := r.EnableDurability(opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr, err := mesh.Endpoint(cfg.ID, r.Handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.BindTransport(tr)
+		replicas[i] = r
+	}
+	for _, r := range replicas {
+		r.Start()
+	}
+	cleanup := func() {
+		for _, r := range replicas {
+			if r != nil {
+				r.Close()
+			}
+		}
+		mesh.Close()
+	}
+	return replicas, dirs, mesh, cleanup
+}
+
+// TestLeaseLocalReadZeroIO is the tentpole acceptance check: a GETL served
+// under a valid lease performs zero transport sends and zero WAL appends.
+// The protocol tick is an hour, so every background timer (Ω heartbeats,
+// status gossip) is dormant and any I/O measured below would be the read
+// path's own.
+func TestLeaseLocalReadZeroIO(t *testing.T) {
+	replicas, _, _, cleanup := startLeaseCluster(t, 3, 1, 1, leaseClusterOptions{
+		tick:    time.Hour,
+		lease:   &smr.LeaseOptions{Duration: time.Hour, Epsilon: 50 * time.Millisecond},
+		durable: true,
+	})
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	if err := kv.Put(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replicas[0].AcquireLease(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !replicas[0].HoldsLease() {
+		t.Fatal("lease not valid after AcquireLease returned")
+	}
+	replicas[0].SyncIO()
+	time.Sleep(100 * time.Millisecond) // let straggler acks from peers land
+
+	st0, ok := replicas[0].TransportStats()
+	if !ok {
+		t.Fatal("no transport stats")
+	}
+	wal0 := replicas[0].Info().WalNextIndex
+
+	const reads = 200
+	for i := 0; i < reads; i++ {
+		v, found, err := kv.GetLinearizable(ctx, "k")
+		if err != nil || !found || v != "v" {
+			t.Fatalf("GETL %d = %q, %t, %v", i, v, found, err)
+		}
+	}
+
+	st1, _ := replicas[0].TransportStats()
+	wal1 := replicas[0].Info().WalNextIndex
+	if st1.Sends != st0.Sends {
+		t.Fatalf("lease reads sent %d transport messages, want 0", st1.Sends-st0.Sends)
+	}
+	if wal1 != wal0 {
+		t.Fatalf("lease reads appended %d WAL records, want 0", wal1-wal0)
+	}
+	if ls := replicas[0].LeaseStats(); ls.Hits < reads {
+		t.Fatalf("lease hits = %d, want >= %d (stats %+v)", ls.Hits, reads, ls)
+	}
+}
+
+// TestLeaseCrashRestartForgetsLease pins the recovery rule: a replayed own
+// grant confers no serving rights (the propose-time anchor died with the
+// process), while surviving peers keep refusing their own proposals until
+// the crashed holder's lease has conservatively expired.
+func TestLeaseCrashRestartForgetsLease(t *testing.T) {
+	lo := &smr.LeaseOptions{Duration: 10 * time.Second, Epsilon: 50 * time.Millisecond}
+	replicas, dirs, _, cleanup := startLeaseCluster(t, 3, 1, 1, leaseClusterOptions{
+		tick: time.Millisecond, lease: lo, durable: true,
+	})
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	if err := kv.Put(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replicas[0].AcquireLease(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !replicas[0].HoldsLease() {
+		t.Fatal("lease not valid after AcquireLease")
+	}
+	if err := replicas[0].Kill(); err != nil {
+		t.Logf("kill: %v", err)
+	}
+
+	// Restart the holder from its data directory, isolated on a capture
+	// transport: recovery replays the grant from the WAL alone.
+	cfg := consensus.Config{ID: 0, N: 3, F: 1, E: 1, Delta: 10}
+	r0, err := smr.NewReplica(cfg, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r0.EnableLeases(*lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r0.EnableDurability(smr.DurabilityOptions{Dir: dirs[0], Policy: wal.SyncAlways}); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	r0.BindTransport(&captureTr{self: 0})
+	defer r0.Close()
+	replicas[0] = nil
+
+	if r0.HoldsLease() {
+		t.Fatal("restarted replica still claims the lease — crash-restart must forget serving rights")
+	}
+	ls := r0.LeaseStats()
+	if !ls.Enabled || ls.Valid {
+		t.Fatalf("restarted lease stats = %+v, want enabled and not valid", ls)
+	}
+	if ls.Holder != 0 {
+		t.Fatalf("restarted holder = %d, want 0 (the grant record itself must replay)", ls.Holder)
+	}
+	if _, _, served := r0.LeaseRead("k"); served {
+		t.Fatal("restarted replica served a lease read")
+	}
+
+	// A surviving peer is still inside the dead holder's guard window: its
+	// own proposals must be refused with the holder hint.
+	err = smr.NewKV(replicas[1]).Put(ctx, "k", "v2")
+	if !errors.Is(err, smr.ErrLeaseHeld) {
+		t.Fatalf("peer write during dead holder's guard = %v, want ErrLeaseHeld", err)
+	}
+}
+
+// TestLeaseTakeoverRevokesPreviousHolder drives a full handover: a second
+// replica grants itself the lease (grant proposals are exempt from the
+// refusal gate precisely so takeover is possible), which revokes the first
+// holder at every replica, and the regression bite — the deposed holder
+// must never again serve a local read, and its own writes are refused with
+// the new holder's hint rather than served stale.
+func TestLeaseTakeoverRevokesPreviousHolder(t *testing.T) {
+	replicas, _, _, cleanup := startLeaseCluster(t, 3, 1, 1, leaseClusterOptions{
+		tick:  time.Millisecond,
+		lease: &smr.LeaseOptions{Duration: 400 * time.Millisecond, Epsilon: 40 * time.Millisecond},
+	})
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	kv0 := smr.NewKV(replicas[0])
+	if err := kv0.Put(ctx, "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replicas[0].AcquireLease(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !replicas[0].HoldsLease() {
+		t.Fatal("p0 lease not valid")
+	}
+
+	// A takeover grant proposed while p0's guard is still active at p1 can
+	// anchor an empty serving window (the window is clipped to start at the
+	// guard's end but still expires Duration-ε after propose time), so —
+	// like the AutoGrant renewal timer — keep re-granting until one lands
+	// after the guard lapses and actually opens.
+	deadline := time.Now().Add(5 * time.Second)
+	for !replicas[1].HoldsLease() {
+		if time.Now().After(deadline) {
+			t.Fatalf("p1 never became leaseholder (stats %+v)", replicas[1].LeaseStats())
+		}
+		if err := replicas[1].AcquireLease(ctx); err != nil {
+			t.Fatalf("takeover grant: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The takeover grant applied at p0 revoked its lease: no local serving.
+	if replicas[0].HoldsLease() {
+		t.Fatal("p0 still claims the lease after p1's grant applied")
+	}
+	if _, _, served := replicas[0].LeaseRead("k"); served {
+		t.Fatal("revoked holder served a lease read")
+	}
+	if h := replicas[0].LeaseStats().Holder; h != 1 {
+		t.Fatalf("p0 records holder %d, want 1", h)
+	}
+
+	// And p0's own traffic is refused toward the new holder, not executed.
+	err := kv0.Put(ctx, "k", "stale-overwrite")
+	if !errors.Is(err, smr.ErrLeaseHeld) || !errors.Is(err, smr.ErrRejected) {
+		t.Fatalf("write at deposed holder = %v, want ErrLeaseHeld (definite)", err)
+	}
+	gctx, gcancel := context.WithTimeout(ctx, 2*time.Second)
+	defer gcancel()
+	_, _, err = kv0.GetLinearizable(gctx, "k")
+	if !errors.Is(err, smr.ErrLeaseHeld) {
+		t.Fatalf("GETL at deposed holder = %v, want ErrLeaseHeld redirect hint", err)
+	}
+}
+
+// TestLeaseExpiryUnderFsyncStall pins that a holder whose I/O stalls
+// cannot serve past expiry: the lease lapses on the local monotonic clock
+// regardless of the stuck WAL, and the fallback read barrier (which needs
+// durability) blocks rather than answering from possibly-stale state.
+func TestLeaseExpiryUnderFsyncStall(t *testing.T) {
+	var stall atomic.Bool
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	defer unblock()
+	hook := func() {
+		if stall.Load() {
+			<-release
+		}
+	}
+	replicas, _, _, cleanup := startLeaseCluster(t, 3, 1, 1, leaseClusterOptions{
+		tick:     time.Millisecond,
+		lease:    &smr.LeaseOptions{Duration: 300 * time.Millisecond, Epsilon: 30 * time.Millisecond},
+		durable:  true,
+		syncHook: hook,
+	})
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	if err := kv.Put(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replicas[0].AcquireLease(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	stall.Store(true)
+	// Inside the window the lease read needs no I/O, stalled or not.
+	if v, found, err := kv.GetLinearizable(ctx, "k"); err != nil || !found || v != "v" {
+		t.Fatalf("GETL during stall inside window = %q, %t, %v", v, found, err)
+	}
+
+	time.Sleep(350 * time.Millisecond) // past Duration-ε on p0's clock
+	if replicas[0].HoldsLease() {
+		t.Fatal("lease still valid past expiry")
+	}
+	if _, _, served := replicas[0].LeaseRead("k"); served {
+		t.Fatal("expired lease served a read")
+	}
+	// The fallback barrier needs a no-op round, whose vote record is stuck
+	// behind the stalled fsync: the read must block behind the barrier,
+	// never answer from possibly-stale state. (The shared round runs on a
+	// detached 30s budget, so assert non-completion rather than waiting
+	// out a caller deadline.)
+	type getlResult struct {
+		v   string
+		err error
+	}
+	done := make(chan getlResult, 1)
+	go func() {
+		v, _, err := kv.GetLinearizable(ctx, "k")
+		done <- getlResult{v, err}
+	}()
+	select {
+	case res := <-done:
+		t.Fatalf("GETL completed past expiry with fsyncs stalled (= %q, %v) — barrier was skipped", res.v, res.err)
+	case <-time.After(500 * time.Millisecond):
+	}
+	if ls := replicas[0].LeaseStats(); ls.Expired == 0 {
+		t.Fatalf("expiry not counted: %+v", ls)
+	}
+	stall.Store(false)
+	unblock()
+	// Once fsyncs resume the barrier completes and the read is served.
+	if res := <-done; res.err != nil || res.v != "v" {
+		t.Fatalf("GETL after fsync release = %q, %v", res.v, res.err)
+	}
+}
+
+// TestReadCoalescingSharesRounds pins the read-index batching shape with
+// leases off entirely: while one GETL's no-op round is pinned at the fsync
+// gate, 31 more GETLs arrive; releasing the gate must retire all 32 with
+// exactly one more round (the first round's barrier does not cover readers
+// that arrived after its no-op was proposed, so they share a second one).
+func TestReadCoalescingSharesRounds(t *testing.T) {
+	var stall atomic.Bool
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	defer unblock()
+	hook := func() {
+		if stall.Load() {
+			<-release
+		}
+	}
+	replicas, _, _, cleanup := startLeaseCluster(t, 3, 1, 1, leaseClusterOptions{
+		tick: time.Millisecond, durable: true, syncHook: hook,
+	})
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	if err := kv.Put(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	replicas[0].SyncIO()
+	base := replicas[0].LeaseStats() // ReadRounds counted with leases off too
+
+	stall.Store(true)
+	errs := make(chan error, 32)
+	getl := func() {
+		_, _, err := kv.GetLinearizable(ctx, "k")
+		errs <- err
+	}
+	go getl()
+	// The leader increments ReadRounds before its no-op hits the gate:
+	// poll until the first round is provably in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for replicas[0].LeaseStats().ReadRounds != base.ReadRounds+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first read round never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i := 0; i < 31; i++ {
+		go getl()
+	}
+	time.Sleep(200 * time.Millisecond) // joiners only need a mutex append
+	stall.Store(false)
+	unblock()
+
+	for i := 0; i < 32; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("coalesced GETL: %v", err)
+		}
+	}
+	st := replicas[0].LeaseStats()
+	if got := st.ReadRounds - base.ReadRounds; got != 2 {
+		t.Fatalf("read rounds = %d, want 2 (stats %+v)", got, st)
+	}
+	if got := st.ReadCoalesced - base.ReadCoalesced; got != 30 {
+		t.Fatalf("coalesced reads = %d, want 30 (stats %+v)", got, st)
+	}
+}
+
+// TestPerReadNoopBaseline pins the legacy A/B mode: with SetPerReadNoop
+// every GETL pays its own round, so N reads are N rounds, none coalesced.
+func TestPerReadNoopBaseline(t *testing.T) {
+	replicas, _, _, cleanup := startLeaseCluster(t, 3, 1, 1, leaseClusterOptions{
+		tick: time.Millisecond,
+	})
+	defer cleanup()
+	replicas[0].SetPerReadNoop(true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	kv := smr.NewKV(replicas[0])
+	if err := kv.Put(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	base := replicas[0].LeaseStats()
+	for i := 0; i < 5; i++ {
+		if _, _, err := kv.GetLinearizable(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := replicas[0].LeaseStats()
+	if got := st.ReadRounds - base.ReadRounds; got != 5 {
+		t.Fatalf("per-read-noop rounds = %d, want 5", got)
+	}
+	if st.ReadCoalesced != base.ReadCoalesced {
+		t.Fatalf("per-read-noop coalesced %d reads, want 0", st.ReadCoalesced-base.ReadCoalesced)
+	}
+}
+
+// TestGETLStormUnderRace hammers the lease read path from 64 goroutines
+// with concurrent writers at the holder and readers at a non-holder; run
+// under -race in CI, it is the data-race net over the lease table, read
+// gate, and counters.
+func TestGETLStormUnderRace(t *testing.T) {
+	replicas, _, _, cleanup := startLeaseCluster(t, 3, 1, 1, leaseClusterOptions{
+		tick:  time.Millisecond,
+		lease: &smr.LeaseOptions{Duration: 10 * time.Second, Epsilon: 50 * time.Millisecond},
+	})
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	kv0 := smr.NewKV(replicas[0])
+	kv1 := smr.NewKV(replicas[1])
+	if err := kv0.Put(ctx, "k", "v0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replicas[0].AcquireLease(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, iters = 64, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch {
+				case g%8 == 0:
+					// Writers at the holder keep the applied state moving.
+					if err := kv0.Put(ctx, "k", fmt.Sprintf("v%d-%d", g, i)); err != nil {
+						errs <- fmt.Errorf("put: %w", err)
+					}
+				case g%8 == 1:
+					// Readers at a guarded non-holder: served after a
+					// barrier or refused toward the holder — never racy.
+					if _, _, err := kv1.GetLinearizable(ctx, "k"); err != nil && !errors.Is(err, smr.ErrLeaseHeld) {
+						errs <- fmt.Errorf("getl@p1: %w", err)
+					}
+				default:
+					if v, found, err := kv0.GetLinearizable(ctx, "k"); err != nil || !found || v == "" {
+						errs <- fmt.Errorf("getl@p0 = %q, %t, %w", v, found, err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ls := replicas[0].LeaseStats(); ls.Hits == 0 {
+		t.Fatalf("storm never hit the lease: %+v", ls)
+	}
+}
+
+// TestLeaseHeldRedirectMovesClientToHolder wires the whole tier-3 path: a
+// PreferLeader session client dialed at a guarded non-holder gets the
+// "lease held by replica N" refusal, re-sticks to the named holder, and
+// its GETLs become local lease hits there. The legacy client classifies
+// the same refusal as a definite rejection.
+func TestLeaseHeldRedirectMovesClientToHolder(t *testing.T) {
+	replicas, _, _, cleanup := startLeaseCluster(t, 3, 1, 1, leaseClusterOptions{
+		tick:  time.Millisecond,
+		lease: &smr.LeaseOptions{Duration: 10 * time.Second, Epsilon: 50 * time.Millisecond},
+	})
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := smr.NewKV(replicas[0]).Put(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replicas[1].AcquireLease(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for replicas[0].LeaseStats().Holder != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("p0 never applied p1's grant")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	addrs := make([]string, 3)
+	for i, r := range replicas {
+		srv, err := smr.NewServer(r, "127.0.0.1:0", 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+
+	sc, err := smr.NewSessionClient(addrs, smr.SessionOptions{
+		Timeout: 10 * time.Second, Depth: 8, PreferLeader: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	// The client starts on addrs[0]; p0's Ω hint is itself (lowest id), so
+	// only the lease refusal can move the session.
+	if v, err := sc.GetLinearizable("k"); err != nil || v != "v" {
+		t.Fatalf("GETL through redirect = %q, %v", v, err)
+	}
+	if got := sc.Proxy(); got != addrs[1] {
+		t.Fatalf("client proxy = %s, want the leaseholder %s", got, addrs[1])
+	}
+	if hits := replicas[1].LeaseStats().Hits; hits == 0 {
+		t.Fatal("redirected GETL did not hit the holder's lease")
+	}
+	// And the STATS line at the holder now carries the lease suffix.
+	stats, err := sc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsField(stats, "lease_valid=true") {
+		t.Fatalf("STATS missing lease suffix: %q", stats)
+	}
+
+	// Legacy client pinned to the guarded non-holder: the refusal is a
+	// definite rejection carrying the holder in its text.
+	lc, err := smr.NewClient([]string{addrs[0]}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if _, err := lc.GetLinearizable("k"); err == nil || !errors.Is(err, smr.ErrRejected) {
+		t.Fatalf("legacy GETL at guarded non-holder = %v, want definite rejection", err)
+	}
+}
+
+// containsField reports whether a space-separated stats line carries the
+// given key=value field.
+func containsField(line, field string) bool {
+	for _, f := range strings.Fields(line) {
+		if f == field {
+			return true
+		}
+	}
+	return false
+}

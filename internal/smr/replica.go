@@ -133,6 +133,12 @@ type Replica struct {
 	// dur, when non-nil, journals slot state to a WAL and checkpoints the
 	// applied store into snapshots (see durability.go).
 	dur *durable
+
+	// ls, when non-nil, tracks the replicated leader lease (EnableLeases,
+	// see lease.go); rgate coalesces concurrent linearizable reads behind
+	// shared no-op rounds regardless of leases (see readbarrier.go).
+	ls    *leaseState
+	rgate readGate
 }
 
 // NewReplica builds a replica. Call BindTransport, then Start.
@@ -224,6 +230,9 @@ func (r *Replica) Start() {
 	r.mu.Lock()
 	em := r.emitLocked(r.applyDetectorLocked(r.det.Start()))
 	r.scheduleStatusLocked()
+	if r.ls != nil && r.ls.opts.AutoGrant {
+		r.scheduleLeaseLocked()
+	}
 	r.mu.Unlock()
 	r.completeEmit(em)
 }
@@ -310,6 +319,13 @@ func (r *Replica) Handle(from consensus.ProcessID, msg consensus.Message) {
 			out = r.catchupReplyLocked(from)
 		}
 	case *CatchupReply:
+		if r.ls != nil && m.LeaseHolder != nil {
+			// The snapshot jump skips the individual grant applies, so
+			// the sender exports its lease view as (holder, remaining):
+			// durations survive the clock-origin change, and importing at
+			// any later instant only shortens the true residual window.
+			r.ls.tab.Import(*m.LeaseHolder, m.LeaseRemain, r.ls.now())
+		}
 		out = r.installSnapshotLocked(m.Applied, m.Store, m.Decided)
 	default:
 		out = r.applyDetectorLocked(r.det.Deliver(from, msg))
@@ -337,7 +353,14 @@ func (r *Replica) catchupReplyLocked(to consensus.ProcessID) []outbound {
 			decided[slot] = v
 		}
 	}
-	return []outbound{{to: to, msg: &CatchupReply{Applied: r.applied, Store: store, Decided: decided}}}
+	reply := &CatchupReply{Applied: r.applied, Store: store, Decided: decided}
+	if r.ls != nil {
+		if h, remain := r.ls.tab.Export(r.ls.now()); h >= 0 && remain > 0 {
+			reply.LeaseHolder = &h
+			reply.LeaseRemain = remain
+		}
+	}
+	return []outbound{{to: to, msg: reply}}
 }
 
 // installSnapshotLocked adopts a peer's snapshot if it is ahead of us:
@@ -430,7 +453,16 @@ func (r *Replica) Submit(ctx context.Context, cmd Command) error {
 	if err != nil {
 		return err
 	}
-	return r.WaitApplied(ctx, slot)
+	if err := r.WaitApplied(ctx, slot); err != nil {
+		return err
+	}
+	if r.takeFenced(slot) {
+		// Decided and applied — but a lease grant in an earlier slot beat
+		// it there, so the holder may have served reads that miss it. The
+		// ack is downgraded to ambiguous (see ErrLeaseFenced).
+		return ErrLeaseFenced
+	}
+	return nil
 }
 
 // Execute proposes cmd and blocks until a slot decides it, returning the
@@ -456,6 +488,14 @@ func (r *Replica) Execute(ctx context.Context, cmd Command) (int, error) {
 		if r.closed {
 			r.mu.Unlock()
 			return 0, ErrClosed
+		}
+		if cmd.Op != OpLeaseGrant {
+			// Pre-propose lease gate (definite refusal with holder hint);
+			// re-checked per retry — a grant can apply between rounds.
+			if err := r.leaseRefuseLocked(); err != nil {
+				r.mu.Unlock()
+				return 0, err
+			}
 		}
 		slot = r.nextFreeSlotLocked(slot)
 		if v, decided := r.log[slot]; decided {
@@ -533,6 +573,13 @@ func (r *Replica) TransportStats() (transport.Stats, bool) {
 func (r *Replica) Get(key string) (string, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.getLocked(key)
+}
+
+// getLocked is Get under the lock, shared with LeaseRead so the lease
+// validity check and the store read are one atomic step (and lease reads
+// honor the chaos harness's stale-read fault injection).
+func (r *Replica) getLocked(key string) (string, bool) {
 	if r.faultStale {
 		if v, ok := r.faultPrev[key]; ok {
 			return v, true
@@ -807,6 +854,11 @@ func (r *Replica) decideLocked(slot int, v consensus.Value) []outbound {
 			delete(r.appliedW, s)
 		}
 	}
+	// A bare no-op that releases no WaitApplied waiter completes only read
+	// barriers: any write acknowledgement travels through done channels, so
+	// this condition is what keeps the relaxed (critical-only) durability
+	// watermark strictly off the write path.
+	wk.readOnly = isNoopValue(v.Data) && len(wk.done) == 0
 	if len(wk.chs) > 0 || len(wk.done) > 0 {
 		r.wakes = append(r.wakes, wk)
 	}
@@ -848,7 +900,15 @@ func (r *Replica) WaitApplied(ctx context.Context, slot int) error {
 func (r *Replica) applyCommandLocked(v consensus.Value) {
 	cmd, err := DecodeCommand(v)
 	if err != nil {
+		if r.ls != nil {
+			// Unparseable commands still revoke conservatively: an
+			// unknown proposer must not leave a lease looking live.
+			r.applyLeaseLocked(Command{}, -1)
+		}
 		return // unparseable command: treated as a no-op
+	}
+	if r.ls != nil {
+		r.applyLeaseLocked(cmd, proposerOf(cmd.ID))
 	}
 	r.applyDecodedLocked(cmd)
 }
@@ -975,12 +1035,14 @@ func (r *Replica) emitLocked(out []outbound) emitted {
 	}
 	var idx uint64
 	if r.dur != nil && r.dur.policy == wal.SyncAlways {
-		if len(wakes) > 0 {
-			// Completing a client call asserts full durability of the step.
-			idx = r.dur.buffered
-		} else {
-			// Messages only depend on safety-critical records (see durable).
-			idx = r.dur.critical
+		idx = r.dur.critical
+		for _, w := range wakes {
+			if !w.readOnly {
+				// Completing a client call asserts full durability of the
+				// step; only pure read-barrier wakeups may skip it.
+				idx = r.dur.buffered
+				break
+			}
 		}
 	}
 	r.io.enqueue(outboxEntry{r: r, walIdx: idx, msgs: out, wake: wakes})

@@ -125,7 +125,13 @@ func (b singleBackend) StatsLine() string {
 	if !ok {
 		return "ERR no transport bound"
 	}
-	return "STATS " + st.String()
+	line := "STATS " + st.String()
+	// Lease/read-path counters ride as a suffix so pre-lease consumers
+	// parsing the transport fields keep working unchanged.
+	if ls := b.r.LeaseStats(); ls.Enabled {
+		line += " " + ls.String()
+	}
+	return line
 }
 
 func (b singleBackend) InfoLine() string { return "INFO " + b.r.Info().String() }

@@ -57,6 +57,12 @@ type SessionClient struct {
 	cur    int
 	sess   *session
 	closed bool
+	// sticky pins cur against the OHAI Ω-leader redial after a lease-held
+	// redirect: the leaseholder hint is fresher than the Ω estimate (the
+	// leader and the leaseholder can differ transiently), so following the
+	// Ω hint would bounce the client straight back to the replica that
+	// just refused it. Cleared when the pinned proxy fails.
+	sticky bool
 }
 
 // NewSessionClient builds a pipelined client over the given proxy
@@ -224,6 +230,11 @@ func (c *SessionClient) Close() error {
 // per operation. A mutating command stops retrying the moment one attempt
 // may have reached a server (a re-queued write would be a second proposal
 // and could apply twice); reads retry on every failure.
+//
+// A "lease held by replica N" reply is a definite pre-propose refusal
+// naming the replica that can serve: with PreferLeader set the client
+// re-sticks to it and retries (safe even for writes — nothing entered
+// consensus), which is what moves GETL readers onto the leaseholder.
 func (c *SessionClient) call(cmd string, mutating bool) (reply string, sent bool, err error) {
 	var lastErr error = ErrNoProxies
 	for attempt := 0; attempt < len(c.addrs); attempt++ {
@@ -234,6 +245,12 @@ func (c *SessionClient) call(cmd string, mutating bool) (reply string, sent bool
 		}
 		res := sess.do(cmd, c.opts.Timeout)
 		if res.err == nil {
+			if h, held := leaseHolderHint(res.reply); held &&
+				c.opts.PreferLeader && h < len(c.addrs) && attempt+1 < len(c.addrs) {
+				lastErr = fmt.Errorf("smr session: %s", res.reply)
+				c.redirect(sess, h)
+				continue
+			}
 			return res.reply, true, nil
 		}
 		lastErr = res.err
@@ -272,7 +289,7 @@ func (c *SessionClient) session() (*session, error) {
 			c.cur = (c.cur + 1) % len(c.addrs)
 			continue
 		}
-		if c.opts.PreferLeader && !sess.legacy &&
+		if c.opts.PreferLeader && !c.sticky && !sess.legacy &&
 			sess.leader != sess.replicaID &&
 			sess.leader >= 0 && sess.leader < len(c.addrs) && sess.leader != c.cur {
 			if redir, err := dialSession(c.addrs[sess.leader], c.opts.Timeout, c.opts.Depth); err == nil {
@@ -290,6 +307,35 @@ func (c *SessionClient) session() (*session, error) {
 	return nil, fmt.Errorf("smr session: no proxy reachable: %w", lastErr)
 }
 
+// leaseHolderHint parses the leaseholder id out of a lease-held refusal
+// ("ERR lease held by replica N", possibly with trailing context).
+func leaseHolderHint(reply string) (int, bool) {
+	if !strings.HasPrefix(reply, leaseHeldPrefix) {
+		return -1, false
+	}
+	digits, _, _ := strings.Cut(strings.TrimPrefix(reply, leaseHeldPrefix), " ")
+	h, err := strconv.Atoi(digits)
+	if err != nil || h < 0 {
+		return -1, false
+	}
+	return h, true
+}
+
+// redirect re-sticks the client to the replica a lease-held refusal named
+// and discards the session that refused, so the next attempt dials the
+// leaseholder (requires addrs ordered by replica id, as PreferLeader
+// documents). Teardown runs outside the lock, like drop.
+func (c *SessionClient) redirect(sess *session, holder int) {
+	c.mu.Lock()
+	if c.sess == sess {
+		c.sess = nil
+		c.cur = holder
+		c.sticky = true
+	}
+	c.mu.Unlock()
+	sess.teardown(errors.New("smr session: redirected to leaseholder"))
+}
+
 // drop discards sess if it is still the client's current session and
 // rotates to the next proxy.
 func (c *SessionClient) drop(sess *session, cause error) {
@@ -297,6 +343,7 @@ func (c *SessionClient) drop(sess *session, cause error) {
 	if c.sess == sess {
 		c.sess = nil
 		c.cur = (c.cur + 1) % len(c.addrs)
+		c.sticky = false // the pinned leaseholder failed; hints are stale
 	}
 	c.mu.Unlock()
 	sess.teardown(cause)
