@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-groups bench-reads microbench report examples vet lint cover fuzz crash chaos chaos-short clean
+.PHONY: all build test test-short test-flaky race bench bench-groups bench-reads bench-wan bench-wan-short microbench report examples vet lint cover fuzz crash chaos chaos-short clean
 
 all: build vet lint test
 
@@ -30,6 +30,14 @@ race:
 test-short:
 	$(GO) test ./... -short -timeout 300s
 
+# Flake hunt: the timing-sensitive suites repeated under the race detector.
+# A test that passes here five times in a row is allowed to rely on its
+# timing assumptions; one that doesn't gets converted to a fake clock
+# (see TestLeaseExpiryUnderFsyncStall for the pattern).
+test-flaky:
+	$(GO) test ./internal/smr ./internal/chaos ./internal/node ./internal/wan \
+		-race -count=5 -timeout 1200s
+
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1200s .
 
@@ -44,6 +52,17 @@ bench-groups:
 # BENCH_F9.json; see docs/LEASES.md.
 bench-reads:
 	$(GO) run ./cmd/bench -exp F9 -f9-json BENCH_F9.json
+
+# F10 WAN suite: per-region commit latency and slow-path rate for every
+# protocol over real TCP with geo delays injected and fsync on —
+# regenerates BENCH_F10.json (~4–5 min: the delays are real); see
+# docs/TESTING.md and docs/PERFORMANCE.md.
+bench-wan:
+	$(GO) run ./cmd/bench -exp F10 -f10-json BENCH_F10.json
+
+# CI-sized F10: Mesh fabric, two sweep cells, delays compressed 20×.
+bench-wan-short:
+	$(GO) run ./cmd/bench -exp F10 -f10-short
 
 # Hot-path microbenchmarks (codec allocs, WAL group commit, full replica
 # pipeline) at a fixed iteration count so CI gets stable allocs/op without
@@ -75,6 +94,7 @@ fuzz:
 	$(GO) test ./internal/transport -run=NONE -fuzz=FuzzFrameRoundTrip -fuzztime=30s
 	$(GO) test ./internal/storage -run=NONE -fuzz=FuzzSnapshotRoundTrip -fuzztime=30s
 	$(GO) test ./internal/smr -run=NONE -fuzz=FuzzSessionFrameRoundTrip -fuzztime=30s
+	$(GO) test ./internal/shard -run=NONE -fuzz=FuzzRangeRouter -fuzztime=30s
 
 # Crash-injection suite: torn writes, failpoints mid-record, kill-and-restart
 # recovery — see docs/DURABILITY.md.
@@ -92,16 +112,20 @@ chaos:
 		-chaos.seed=$(SEED) -chaos.seeds=$(SEEDS) -timeout 1200s
 	$(GO) test ./internal/chaos -run TestShardedChaosLinearizable -count=1 -v -timeout 300s
 	$(GO) test ./internal/chaos -run 'TestLeaseChaosLinearizable|TestLeaseTeethZeroEpsilon' -count=1 -v -timeout 300s
+	$(GO) test ./internal/chaos -run TestWANPartitionLinearizable -count=1 -v -timeout 300s
 
 # Shrunk chaos campaign for per-push CI: fewer seeds, smaller scenarios,
 # plus the multi-group scenario (partitions + crash-restart through the
-# shared-WAL recovery demux — see docs/SHARDING.md) and the lease scenario
-# (crash/partition the leaseholder mid-lease — see docs/LEASES.md).
+# shared-WAL recovery demux — see docs/SHARDING.md), the lease scenario
+# (crash/partition the leaseholder mid-lease — see docs/LEASES.md), and
+# the geo scenario (region cut under injected WAN latency — see
+# docs/TESTING.md).
 chaos-short:
 	$(GO) test -tags chaos ./internal/chaos -run TestChaosFull \
 		-chaos.seed=$(SEED) -chaos.seeds=5 -chaos.short -timeout 600s
 	$(GO) test ./internal/chaos -run TestShardedChaosLinearizable -count=1 -timeout 300s
 	$(GO) test ./internal/chaos -run 'TestLeaseChaosLinearizable|TestLeaseTeethZeroEpsilon' -count=1 -timeout 300s
+	$(GO) test ./internal/chaos -run TestWANPartitionLinearizable -count=1 -timeout 300s
 
 clean:
 	rm -rf out

@@ -39,6 +39,8 @@ func run() error {
 		f7JSON   = flag.String("f7-json", "", "run F7 and write its machine-readable report to this file (BENCH_F7.json)")
 		f8JSON   = flag.String("f8-json", "", "run F8 and write its machine-readable report to this file (BENCH_F8.json)")
 		f9JSON   = flag.String("f9-json", "", "run F9 and write its machine-readable report to this file (BENCH_F9.json)")
+		f10JSON  = flag.String("f10-json", "", "run F10 and write its machine-readable report to this file (BENCH_F10.json)")
+		f10Short = flag.Bool("f10-short", false, "run F10 in its CI-sized short mode (Mesh fabric, compressed delays)")
 		pipeline = flag.Int("pipeline", 0, "session-client in-flight depth for F7's deep rows (0 = default 16)")
 	)
 	flag.Parse()
@@ -180,6 +182,36 @@ func run() error {
 			}
 		}
 	}
+	if *f10JSON != "" || *f10Short {
+		// Same arrangement as -f9-json: F10 runs once, report captured.
+		var kept []string
+		for _, id := range ids {
+			if id != "F10" {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+		opts := bench.DefaultWANSuiteOptions()
+		if *f10Short {
+			opts = bench.ShortWANSuiteOptions()
+		}
+		start := time.Now()
+		res, report := bench.WANSuite(opts)
+		if _, err := res.WriteTo(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "_F10 completed in %s_\n\n", time.Since(start).Round(time.Millisecond))
+		if *f10JSON != "" {
+			if err := writeF10JSON(*f10JSON, report); err != nil {
+				return err
+			}
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, "F10", res); err != nil {
+				return err
+			}
+		}
+	}
 	for _, id := range ids {
 		start := time.Now()
 		res := exps[id]()
@@ -240,6 +272,15 @@ func writeF9JSON(path string, report *bench.ReadsReport) error {
 	wrapped := struct {
 		GeneratedAt string `json:"generatedAt"`
 		*bench.ReadsReport
+	}{time.Now().UTC().Format(time.RFC3339), report}
+	return writeJSON(path, wrapped)
+}
+
+// writeF10JSON commits the F10 report (BENCH_F10.json) the same way.
+func writeF10JSON(path string, report *bench.WANSuiteReport) error {
+	wrapped := struct {
+		GeneratedAt string `json:"generatedAt"`
+		*bench.WANSuiteReport
 	}{time.Now().UTC().Format(time.RFC3339), report}
 	return writeJSON(path, wrapped)
 }

@@ -30,6 +30,10 @@ var protocolPackages = map[string]bool{
 	// The lease table is replayed from the log on recovery, so it must be
 	// as deterministic as the protocols: all time flows in as arguments.
 	"repro/internal/lease": true,
+	// Geo topologies are pure arithmetic over the RTT matrix; a hidden
+	// clock or random jitter there would make WAN delay schedules
+	// unreproducible across runs of the same topology and scale.
+	"repro/internal/wan": true,
 }
 
 // IsProtocolPackage reports whether path is subject to the determinism

@@ -28,6 +28,7 @@ func Experiments(soakRuns int) map[string]func() *Result {
 		"F7":  SessionsF7,
 		"F8":  GroupsF8,
 		"F9":  ReadsF9,
+		"F10": WANSuiteF10,
 		"A1":  Ablation,
 	}
 }
@@ -53,9 +54,27 @@ func ExperimentIDs() []string {
 		if rank(ids[i]) != rank(ids[j]) {
 			return rank(ids[i]) < rank(ids[j])
 		}
+		// Numeric-aware within a rank so F10 sorts after F9, not after F1.
+		ni, nj := idNum(ids[i]), idNum(ids[j])
+		if ni != nj {
+			return ni < nj
+		}
 		return ids[i] < ids[j]
 	})
 	return ids
+}
+
+// idNum extracts the numeric part of an experiment ID ("F10" → 10,
+// "T3b" → 3) for canonical ordering.
+func idNum(id string) int {
+	n := 0
+	for _, r := range id[1:] {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
 }
 
 // RunAll executes every experiment in canonical order, writing each table

@@ -1,54 +1,34 @@
 package bench
 
-import "repro/internal/consensus"
+import (
+	"repro/internal/consensus"
+	"repro/internal/wan"
+)
 
 // Region is a named deployment site for the WAN experiment.
 type Region struct {
 	Name string
 }
 
-// Regions used by the F3 WAN experiment, in deployment order: a protocol
-// that needs n processes occupies the first n entries.
-var wanRegions = []Region{
-	{Name: "eu-west"},  // proxy focus: Dublin
-	{Name: "eu-cent"},  // Frankfurt
-	{Name: "us-east"},  // Virginia
-	{Name: "us-west"},  // Oregon
-	{Name: "ap-se"},    // Singapore
-	{Name: "sa-east"},  // São Paulo
-	{Name: "ap-ne"},    // Tokyo
-	{Name: "ap-south"}, // Mumbai
-}
+// Regions and RTT matrix used by the F3 WAN experiment, in deployment
+// order: a protocol that needs n processes occupies the first n entries.
+// The canonical data lives in internal/wan (shared with the F10 suite and
+// cmd/plan); this is a typed view of it.
+var wanRegions, wanRTT = builtinWAN()
 
-// wanRTT holds approximate public-cloud inter-region round-trip times in
-// milliseconds (symmetric). Indexed like wanRegions. Values are in the
-// ballpark of published cloud latency matrices; the experiment's conclusions
-// depend only on their relative order.
-var wanRTT = [][]consensus.Duration{
-	//            euW  euC  usE  usW  apSE saE  apNE apS
-	{0, 25, 75, 130, 180, 185, 210, 125},   // eu-west
-	{25, 0, 90, 145, 160, 200, 225, 110},   // eu-cent
-	{75, 90, 0, 65, 215, 115, 145, 185},    // us-east
-	{130, 145, 65, 0, 165, 175, 100, 220},  // us-west
-	{180, 160, 215, 165, 0, 320, 70, 60},   // ap-se
-	{185, 200, 115, 175, 320, 0, 255, 300}, // sa-east
-	{210, 225, 145, 100, 70, 255, 0, 120},  // ap-ne
-	{125, 110, 185, 220, 60, 300, 120, 0},  // ap-south
+func builtinWAN() ([]Region, [][]consensus.Duration) {
+	names, rtt := wan.Sites()
+	regions := make([]Region, len(names))
+	for i, n := range names {
+		regions[i] = Region{Name: n}
+	}
+	return regions, rtt
 }
 
 // BuiltinWANMatrix exposes the full 8-region site list and RTT matrix for
 // tools that plan placements (cmd/plan). The returned slices are copies.
 func BuiltinWANMatrix() ([]string, [][]consensus.Duration) {
-	sites := make([]string, len(wanRegions))
-	for i, r := range wanRegions {
-		sites[i] = r.Name
-	}
-	rtt := make([][]consensus.Duration, len(wanRTT))
-	for i, row := range wanRTT {
-		rtt[i] = make([]consensus.Duration, len(row))
-		copy(rtt[i], row)
-	}
-	return sites, rtt
+	return wan.Sites()
 }
 
 // wanMatrix returns the n×n RTT submatrix for the first n regions.

@@ -1,0 +1,552 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/epaxos"
+	"repro/internal/fastpaxos"
+	"repro/internal/node"
+	"repro/internal/protocols"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/wan"
+)
+
+// F10 — the WAN scenario suite. Where F3 computes geo latency analytically
+// on the simulator, F10 measures it end-to-end: real protocol stacks on
+// node.Host over a real fabric (TCP with a per-peer one-way delay shim, or
+// Mesh with a deterministic delay injector for the CI short mode), with
+// durability on (an fsync per protocol step) when requested. Each cell of
+// the sweep deploys a protocol on the first n slots of a wan.Topology
+// preset and, for every distinct region, measures propose→decide latency at
+// a proxy in that region plus the slow-path rate via
+// consensus.FastPathReporter. The per-region tables are the paper's C5
+// claim made empirical: the task/object protocols assemble their smaller
+// fast quorums region-hops earlier than Fast Paxos on spread placements.
+
+// WANEPaxos names the EPaxos baseline in the F10 sweep. It is not in the
+// protocols registry (instances are owner-specific), so the suite wires it
+// through protocols.EPaxosFactory with the proxy as owner.
+const WANEPaxos = "epaxos"
+
+// WANSweep is one (f, e) resilience point of the F10 sweep.
+type WANSweep struct {
+	F int `json:"f"`
+	E int `json:"e"`
+}
+
+// WANSuiteOptions parameterizes the F10 suite.
+type WANSuiteOptions struct {
+	// Topologies are wan.Preset names.
+	Topologies []string
+	// Sweeps are the (f, e) points. EPaxos substitutes its own conflict
+	// threshold e = ⌈(f+1)⁄2⌉ (the protocol fixes it; the row records it).
+	Sweeps []WANSweep
+	// Protocols are protocol names (registry names plus WANEPaxos).
+	Protocols []string
+	// Samples per (cell, proxy region), after one discarded warm-up.
+	Samples int
+	// Scale multiplies every one-way delay (1.0 = real milliseconds).
+	Scale float64
+	// UseTCP selects the real TCP fabric with the writer-side delay shim;
+	// false runs on Mesh with the deterministic delay injector.
+	UseTCP bool
+	// Fsync installs a durability hook: every protocol step appends a
+	// record to a per-process log and fsyncs before any send.
+	Fsync bool
+}
+
+// DefaultWANSuiteOptions is the full F10 sweep: real TCP, fsync on, real
+// geo milliseconds, both sweep points on a spread and a co-located layout.
+func DefaultWANSuiteOptions() WANSuiteOptions {
+	return WANSuiteOptions{
+		Topologies: []string{"spread7", "geo5x7"},
+		Sweeps:     []WANSweep{{F: 1, E: 1}, {F: 2, E: 2}},
+		Protocols: []string{
+			protocols.CoreTask, protocols.CoreObject,
+			protocols.FastPaxos, protocols.FastPaxosFlex, WANEPaxos,
+		},
+		Samples: 8,
+		Scale:   1.0,
+		UseTCP:  true,
+		Fsync:   true,
+	}
+}
+
+// ShortWANSuiteOptions is the CI-sized sweep (make bench-wan-short): Mesh
+// fabric, two sweep cells, delays compressed 20×, no fsync.
+func ShortWANSuiteOptions() WANSuiteOptions {
+	return WANSuiteOptions{
+		Topologies: []string{"spread7"},
+		Sweeps:     []WANSweep{{F: 2, E: 2}},
+		Protocols:  []string{protocols.CoreObject, protocols.FastPaxos},
+		Samples:    3,
+		Scale:      0.05,
+		UseTCP:     false,
+		Fsync:      false,
+	}
+}
+
+// WANRegionStat is the measured latency profile for one proxy region.
+type WANRegionStat struct {
+	Region  string `json:"region"`
+	Samples int    `json:"samples"`
+	// FloorMs is the analytical floor: the RTT to the fast quorum's
+	// farthest member from this proxy (wan.Topology.QuorumRTT), unscaled
+	// by Scale so it is comparable across runs.
+	FloorMs int     `json:"floorMs"`
+	P50Ms   float64 `json:"p50Ms"`
+	P99Ms   float64 `json:"p99Ms"`
+	MaxMs   float64 `json:"maxMs"`
+	// SlowPathRate is the fraction of samples that did NOT decide on the
+	// protocol's fast path (consensus.FastPathReporter at the proxy).
+	SlowPathRate float64 `json:"slowPathRate"`
+}
+
+// WANSuiteRow is one cell of the sweep.
+type WANSuiteRow struct {
+	Topology  string          `json:"topology"`
+	Protocol  string          `json:"protocol"`
+	N         int             `json:"n"`
+	F         int             `json:"f"`
+	E         int             `json:"e"`
+	Flex      bool            `json:"flex"`
+	FastQ     int             `json:"fastQuorum"`
+	RecoveryQ int             `json:"recoveryQuorum"`
+	Regions   []WANRegionStat `json:"regions,omitempty"`
+	Skip      string          `json:"skip,omitempty"`
+	Err       string          `json:"err,omitempty"`
+}
+
+// WANSuiteReport is the machine-readable F10 report (BENCH_F10.json).
+type WANSuiteReport struct {
+	ID        string        `json:"id"`
+	Title     string        `json:"title"`
+	Transport string        `json:"transport"`
+	Scale     float64       `json:"scale"`
+	Samples   int           `json:"samples"`
+	Fsync     bool          `json:"fsync"`
+	Rows      []WANSuiteRow `json:"rows"`
+}
+
+// WANSuiteF10 runs the full suite for the experiment registry.
+func WANSuiteF10() *Result {
+	r, _ := WANSuite(DefaultWANSuiteOptions())
+	return r
+}
+
+// WANSuiteShortF10 runs the CI-sized suite (make bench-wan-short).
+func WANSuiteShortF10() *Result {
+	r, _ := WANSuite(ShortWANSuiteOptions())
+	return r
+}
+
+// wanValueSeq makes proposal values globally unique across cells and
+// samples, so a stale decide from a previous sample can never be mistaken
+// for the current instance's value.
+var wanValueSeq atomic.Int64
+
+// WANSuite runs the sweep and returns both the rendered table and the raw
+// report.
+func WANSuite(opts WANSuiteOptions) (*Result, *WANSuiteReport) {
+	fabric := "mesh"
+	if opts.UseTCP {
+		fabric = "tcp"
+	}
+	report := &WANSuiteReport{
+		ID:        "F10",
+		Title:     "WAN suite",
+		Transport: fabric,
+		Scale:     opts.Scale,
+		Samples:   opts.Samples,
+		Fsync:     opts.Fsync,
+	}
+
+	type cellSpec struct {
+		topoName string
+		proto    string
+		sweep    WANSweep
+	}
+	var cells []cellSpec
+	for _, topoName := range opts.Topologies {
+		for _, sweep := range opts.Sweeps {
+			for _, proto := range opts.Protocols {
+				cells = append(cells, cellSpec{topoName, proto, sweep})
+			}
+		}
+	}
+
+	rows := make([]WANSuiteRow, len(cells))
+	// Cells are independent clusters on loopback; a small worker pool
+	// bounds CPU contention so sleeps (the injected delays) stay the
+	// dominant term of every measured latency.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cellSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i] = runWANCell(c.topoName, c.proto, c.sweep, opts)
+		}(i, c)
+	}
+	wg.Wait()
+	report.Rows = rows
+
+	res := &Result{
+		ID: "F10",
+		Title: fmt.Sprintf("WAN suite: measured commit latency at the proxy, ms (%s fabric, scale %g, fsync %v)",
+			fabric, opts.Scale, opts.Fsync),
+		Header: []string{"topology", "protocol", "n", "f", "e", "fastQ", "region",
+			"floor ms", "p50 ms", "p99 ms", "slow-path"},
+	}
+	for _, row := range rows {
+		if row.Skip != "" {
+			res.AddRow(row.Topology, row.Protocol, row.N, row.F, row.E, "—", "—", "—", "—", "—", row.Skip)
+			continue
+		}
+		if row.Err != "" {
+			res.AddRow(row.Topology, row.Protocol, row.N, row.F, row.E, row.FastQ, "—", "—", "—", "—", "error: "+row.Err)
+			continue
+		}
+		for _, reg := range row.Regions {
+			res.AddRow(row.Topology, row.Protocol, row.N, row.F, row.E, row.FastQ, reg.Region,
+				reg.FloorMs, fmt.Sprintf("%.1f", reg.P50Ms), fmt.Sprintf("%.1f", reg.P99Ms),
+				fmt.Sprintf("%.0f%%", reg.SlowPathRate*100))
+		}
+	}
+	res.AddNote("Measured end-to-end on node.Host: propose at a proxy in each distinct region, wait for its decision. floor ms = analytical RTT to the fast quorum's farthest member (unscaled); measured columns include the Scale factor, codec, loopback, and (when on) an fsync per protocol step.")
+	res.AddNote(fmt.Sprintf("p50 is the sample median; with %d samples per region p99 coincides with the maximum — it bounds, not estimates, the tail.", opts.Samples))
+	res.AddNote("fastpaxos-flex runs the bare-majority fast quorum (quorum.SmallestFastFlex): lower latency than classical Fast Paxos at the same n, paid for with an n-all-but-(n−fast) recovery quorum.")
+	return res, report
+}
+
+// runWANCell measures one (topology, protocol, sweep) cell.
+func runWANCell(topoName, proto string, sweep WANSweep, opts WANSuiteOptions) WANSuiteRow {
+	row := WANSuiteRow{Topology: topoName, Protocol: proto, F: sweep.F, E: sweep.E}
+	topo, err := wan.Preset(topoName)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+
+	// Resolve the cell's deployment size and quorum shape.
+	n, e := 0, sweep.E
+	switch proto {
+	case WANEPaxos:
+		n = quorum.PlainMinProcesses(sweep.F)
+		e = quorum.EPaxosFastThreshold(sweep.F)
+		row.FastQ = quorum.EPaxosFastQuorum(sweep.F)
+		row.RecoveryQ = n - sweep.F
+	case protocols.FastPaxosFlex:
+		n = quorum.LamportMinProcesses(sweep.F, sweep.E)
+		fl, ferr := quorum.SmallestFastFlex(n, sweep.F, sweep.E)
+		if ferr != nil {
+			row.N = n
+			row.Skip = "no sound flex quorum: " + ferr.Error()
+			return row
+		}
+		row.Flex = true
+		row.FastQ = fl.Fast
+		row.RecoveryQ = fl.Recovery
+	default:
+		n, err = protocols.MinProcesses(proto, sweep.F, sweep.E)
+		if err != nil {
+			row.Err = err.Error()
+			return row
+		}
+		row.FastQ = n - e
+		row.RecoveryQ = n - sweep.F
+	}
+	row.N, row.E = n, e
+	if n > topo.N() {
+		row.Skip = fmt.Sprintf("needs %d slots, topology has %d", n, topo.N())
+		return row
+	}
+	prefix, err := topo.Prefix(n)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+
+	// Timer budget: Δ must dominate the scaled max RTT so no protocol
+	// timer (and hence no recovery ballot) fires during a healthy sample.
+	maxOneWay := time.Duration(0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d := prefix.OneWayDelay(i, j, opts.Scale); d > maxOneWay {
+				maxOneWay = d
+			}
+		}
+	}
+	tick := time.Millisecond
+	delta := consensus.Duration(3*(2*maxOneWay/time.Millisecond) + 100)
+	drain := maxOneWay + 20*time.Millisecond
+
+	fab, err := newWANFabric(prefix, n, opts)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	defer fab.close()
+
+	seen := map[string]bool{}
+	for slot := 0; slot < n; slot++ {
+		region := prefix.Region(slot)
+		if seen[region] {
+			continue
+		}
+		seen[region] = true
+		stat, err := runWANProxy(prefix, fab, proto, n, sweep.F, e, delta, tick, drain,
+			consensus.ProcessID(slot), opts)
+		if err != nil {
+			row.Err = fmt.Sprintf("proxy %s: %v", region, err)
+			return row
+		}
+		stat.Region = region
+		stat.FloorMs = int(prefix.QuorumRTT(slot, row.FastQ))
+		row.Regions = append(row.Regions, stat)
+	}
+	return row
+}
+
+// runWANProxy measures opts.Samples one-shot instances (plus a discarded
+// warm-up) with the proxy at the given slot. Each sample boots fresh hosts
+// on the cell's shared fabric; between samples the fabric drains for the
+// max one-way delay so no stale frame leaks into the next instance.
+func runWANProxy(prefix wan.Topology, fab *wanFabric, proto string, n, f, e int,
+	delta consensus.Duration, tick, drain time.Duration,
+	proxy consensus.ProcessID, opts WANSuiteOptions) (WANRegionStat, error) {
+
+	var stat WANRegionStat
+	lats := &Sample{}
+	slow := 0
+	for s := 0; s <= opts.Samples; s++ {
+		lat, fast, err := runWANSample(fab, proto, n, f, e, delta, tick, proxy, opts)
+		time.Sleep(drain)
+		if err != nil {
+			return stat, err
+		}
+		if s == 0 {
+			continue // warm-up: includes TCP dials and page-cache warmth
+		}
+		lats.Add(float64(lat) / float64(time.Millisecond))
+		if !fast {
+			slow++
+		}
+	}
+	stat.Samples = lats.N()
+	stat.P50Ms = lats.Percentile(50)
+	stat.P99Ms = lats.Percentile(99)
+	stat.MaxMs = lats.Max()
+	stat.SlowPathRate = float64(slow) / float64(lats.N())
+	return stat, nil
+}
+
+// runWANSample boots one fresh cluster on the fabric, proposes at the
+// proxy, and returns its commit latency and whether it decided on the fast
+// path. It waits for every host to decide before tearing down, so the only
+// frames left in flight are bounded by one one-way delay.
+func runWANSample(fab *wanFabric, proto string, n, f, e int,
+	delta consensus.Duration, tick time.Duration,
+	proxy consensus.ProcessID, opts WANSuiteOptions) (time.Duration, bool, error) {
+
+	oracle := consensus.FixedLeader(proxy)
+	hosts := make([]*node.Host, n)
+	nodes := make([]consensus.Protocol, n)
+	for i := 0; i < n; i++ {
+		cfg := consensus.Config{ID: consensus.ProcessID(i), N: n, F: f, E: e, Delta: delta}
+		p, err := buildWANProto(proto, cfg, proxy, oracle)
+		if err != nil {
+			return 0, false, err
+		}
+		h := node.New(n, fab.trs[i], tick, p)
+		if fab.persist != nil {
+			h.SetPersist(fab.persist[i], nil)
+		}
+		hosts[i] = h
+		nodes[i] = p
+		fab.rebinds[i].set(h.Handle)
+	}
+	defer func() {
+		for i := range hosts {
+			fab.rebinds[i].set(nil)
+			hosts[i].Close()
+		}
+	}()
+	for _, h := range hosts {
+		h.Start()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	hosts[proxy].Propose(consensus.IntValue(wanValueSeq.Add(1)))
+	if _, err := hosts[proxy].WaitDecision(ctx); err != nil {
+		return 0, false, fmt.Errorf("proxy decision: %w", err)
+	}
+	lat := time.Since(start)
+	for i, h := range hosts {
+		if _, err := h.WaitDecision(ctx); err != nil {
+			return 0, false, fmt.Errorf("process %d decision: %w", i, err)
+		}
+	}
+	fast := false
+	if rep, ok := nodes[proxy].(consensus.FastPathReporter); ok {
+		fp, decided := rep.DecidedFast()
+		fast = fp && decided
+	}
+	return lat, fast, nil
+}
+
+// buildWANProto constructs the protocol instance for one slot of a sample.
+func buildWANProto(proto string, cfg consensus.Config, proxy consensus.ProcessID,
+	oracle consensus.LeaderOracle) (consensus.Protocol, error) {
+	if proto == WANEPaxos {
+		return protocols.EPaxosFactory(proxy)(cfg, oracle), nil
+	}
+	fac, err := protocols.ByName(proto)
+	if err != nil {
+		return nil, err
+	}
+	return fac(cfg, oracle), nil
+}
+
+// wanRebind is a swappable transport handler: the fabric outlives the
+// per-sample hosts, so each slot's endpoint delivers into whatever host is
+// current (or drops when none is).
+type wanRebind struct {
+	mu sync.Mutex
+	h  transport.Handler
+}
+
+func (r *wanRebind) set(h transport.Handler) {
+	r.mu.Lock()
+	r.h = h
+	r.mu.Unlock()
+}
+
+func (r *wanRebind) handle(from consensus.ProcessID, msg consensus.Message) {
+	r.mu.Lock()
+	h := r.h
+	r.mu.Unlock()
+	if h != nil {
+		h(from, msg)
+	}
+}
+
+// wanKeepOpen lets per-sample hosts Close without tearing down the cell's
+// shared transport.
+type wanKeepOpen struct{ transport.Transport }
+
+func (wanKeepOpen) Close() error { return nil }
+
+// wanFabric is one cell's shared delivery fabric: per-slot endpoints with
+// the topology's delays installed, swappable handlers, and (with Fsync) a
+// per-slot durability hook.
+type wanFabric struct {
+	trs     []transport.Transport
+	rebinds []*wanRebind
+	persist []func() error
+	close   func()
+}
+
+func newWANFabric(prefix wan.Topology, n int, opts WANSuiteOptions) (*wanFabric, error) {
+	fab := &wanFabric{
+		trs:     make([]transport.Transport, n),
+		rebinds: make([]*wanRebind, n),
+	}
+	for i := range fab.rebinds {
+		fab.rebinds[i] = &wanRebind{}
+	}
+
+	var closers []func()
+	fab.close = func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	fail := func(err error) (*wanFabric, error) {
+		fab.close()
+		return nil, err
+	}
+
+	if opts.Fsync {
+		fab.persist = make([]func() error, n)
+		for i := 0; i < n; i++ {
+			f, err := os.CreateTemp("", "bench-f10-wal-*.log")
+			if err != nil {
+				return fail(err)
+			}
+			name := f.Name()
+			closers = append(closers, func() {
+				f.Close()
+				os.Remove(name)
+			})
+			rec := []byte("step\n")
+			fab.persist[i] = func() error {
+				if _, err := f.Write(rec); err != nil {
+					return err
+				}
+				return f.Sync()
+			}
+		}
+	}
+
+	if !opts.UseTCP {
+		mesh := transport.NewMeshWithDepth(n, 4096)
+		closers = append(closers, mesh.Close)
+		mesh.SetFault(prefix.MeshFault(opts.Scale))
+		for i := 0; i < n; i++ {
+			ep, err := mesh.Endpoint(consensus.ProcessID(i), fab.rebinds[i].handle)
+			if err != nil {
+				return fail(err)
+			}
+			fab.trs[i] = ep // mesh endpoints' Close is already a no-op
+		}
+		return fab, nil
+	}
+
+	codec := consensus.NewCodec()
+	core.RegisterMessages(codec)
+	fastpaxos.RegisterMessages(codec)
+	epaxos.RegisterMessages(codec)
+	addrs := make(map[consensus.ProcessID]string, n)
+	for i := 0; i < n; i++ {
+		addrs[consensus.ProcessID(i)] = "127.0.0.1:0"
+	}
+	tcps := make([]*transport.TCP, n)
+	for i := 0; i < n; i++ {
+		tr, err := transport.NewTCPWithOptions(consensus.ProcessID(i), addrs, codec,
+			fab.rebinds[i].handle, transport.TCPOptions{
+				LinkDelay: prefix.TCPLinkDelay(consensus.ProcessID(i), opts.Scale),
+			})
+		if err != nil {
+			return fail(err)
+		}
+		tcps[i] = tr
+		closers = append(closers, func() { tr.Close() })
+		fab.trs[i] = wanKeepOpen{tr}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				tcps[i].SetPeerAddr(consensus.ProcessID(j), tcps[j].Addr())
+			}
+		}
+	}
+	return fab, nil
+}

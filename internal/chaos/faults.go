@@ -9,8 +9,9 @@
 // a single seed (the fault plan, every client's op script), so a failing
 // run is reproducible from its seed alone: same seed, same schedule, same
 // faults, same verdict. Per-message probabilistic sampling (loss under a
-// lossy-link step) necessarily depends on the live goroutine interleaving,
-// but which faults are active when — the schedule — does not.
+// lossy-link step) draws from a per-directed-link seeded stream, so the
+// k-th send on a link sees the same draws in every run; only the per-link
+// send orders remain interleaving-dependent, never the schedule.
 package chaos
 
 import (
@@ -25,9 +26,21 @@ import (
 // faults is the live fault state consulted by the mesh on every send. The
 // nemesis mutates it step by step; heal() clears everything. One instance
 // is installed per cluster via transport.Mesh.SetFault.
+//
+// Probabilistic sampling draws from a per-directed-link stream (seeded from
+// the scenario seed and the link), not a shared rng: the k-th message on
+// link a→b always sees the same three draws, no matter how the other
+// links' sends interleave with it and no matter which faults happen to be
+// active. That shrinks the nondeterminism left in a failing run to the
+// per-link send orders themselves.
 type faults struct {
 	mu      sync.Mutex
-	rng     *rand.Rand
+	seed    int64
+	streams map[[2]consensus.ProcessID]*rand.Rand
+	// base, when set, is a standing fault-free verdict applied under the
+	// chaos faults — the WAN scenarios install wan.Topology.MeshFault here
+	// so geo latency persists through heal() (distance is not a fault).
+	base    transport.FaultFunc
 	blocked map[[2]consensus.ProcessID]bool
 	loss    float64
 	dup     float64
@@ -37,27 +50,66 @@ type faults struct {
 
 func newFaults(seed int64) *faults {
 	return &faults{
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		streams: make(map[[2]consensus.ProcessID]*rand.Rand),
 		blocked: make(map[[2]consensus.ProcessID]bool),
 	}
 }
 
-// verdict is the transport.FaultFunc for this fault set.
+// stream returns the directed link's private rng, created on first use.
+func (f *faults) stream(from, to consensus.ProcessID) *rand.Rand {
+	key := [2]consensus.ProcessID{from, to}
+	rng, ok := f.streams[key]
+	if !ok {
+		rng = rand.New(rand.NewSource(f.seed ^ mix64(uint64(from)<<32|uint64(uint32(to)))))
+		f.streams[key] = rng
+	}
+	return rng
+}
+
+// mix64 is the splitmix64 finalizer: it spreads the packed (from, to) pair
+// over the seed space so adjacent links get unrelated streams.
+func mix64(x uint64) int64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// setBase installs the standing (typically geo-latency) injector composed
+// under the chaos faults. heal() does not clear it.
+func (f *faults) setBase(base transport.FaultFunc) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.base = base
+}
+
+// verdict is the transport.FaultFunc for this fault set. Every call
+// consumes exactly three draws from the link's stream regardless of which
+// faults are active, so the stream position is always 3× the link's send
+// ordinal — toggling a fault on does not reshuffle the others' sampling.
 func (f *faults) verdict(from, to consensus.ProcessID) transport.FaultVerdict {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	rng := f.stream(from, to)
+	pLoss, pDup, pDelay := rng.Float64(), rng.Float64(), rng.Float64()
+	var v transport.FaultVerdict
+	if f.base != nil {
+		v = f.base(from, to)
+	}
 	if f.blocked[[2]consensus.ProcessID{from, to}] {
 		return transport.FaultVerdict{Drop: true}
 	}
-	if f.loss > 0 && f.rng.Float64() < f.loss {
+	if f.loss > 0 && pLoss < f.loss {
 		return transport.FaultVerdict{Drop: true}
 	}
-	var v transport.FaultVerdict
-	if f.dup > 0 && f.rng.Float64() < f.dup {
+	if f.dup > 0 && pDup < f.dup {
 		v.Duplicate = true
 	}
-	if f.delayP > 0 && f.rng.Float64() < f.delayP {
-		v.Delay = f.delay
+	if f.delayP > 0 && pDelay < f.delayP {
+		v.Delay += f.delay
 	}
 	return v
 }

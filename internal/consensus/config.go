@@ -3,6 +3,8 @@ package consensus
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/quorum"
 )
 
 // Common configuration errors, matchable with errors.Is.
@@ -29,6 +31,16 @@ type Config struct {
 	// Delta is the round length Δ in host ticks. Protocols use it to arm
 	// the new-ballot timer (2Δ initially, 5Δ thereafter, per §C.1).
 	Delta Duration
+	// FastSize, when non-zero, overrides the fast-quorum size n−e with a
+	// flexible-quorum size per Fast Flexible Paxos (internal/quorum.NewFlex
+	// holds the intersection requirements and constructs sound values).
+	// Zero keeps the classical n−e.
+	FastSize int
+	// RecoverySize, when non-zero, overrides the phase-1/recovery quorum
+	// size n−f. Flexible deployments grow it to pay for a smaller FastSize;
+	// the leader-change path then needs RecoverySize live processes. Zero
+	// keeps the classical n−f.
+	RecoverySize int
 }
 
 // Validate checks the structural sanity of the configuration. It does not
@@ -48,15 +60,45 @@ func (c Config) Validate() error {
 	if c.Delta <= 0 {
 		return fmt.Errorf("delta=%d: must be positive", c.Delta)
 	}
+	if c.FastSize != 0 || c.RecoverySize != 0 {
+		if err := quorum.CheckFlex(c.N, c.F, c.E, c.FastSize, c.RecoverySize); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// FastQuorum returns n−e, the number of processes (including the proposer
-// itself) whose ballot-0 votes suffice for a fast decision.
-func (c Config) FastQuorum() int { return c.N - c.E }
+// Flexible reports whether the configuration overrides the classical
+// quorum sizes (Fast Flexible Paxos mode).
+func (c Config) Flexible() bool { return c.FastSize != 0 || c.RecoverySize != 0 }
 
-// ClassicQuorum returns n−f, the slow-path quorum size.
+// FastQuorum returns the number of processes (including the proposer
+// itself) whose ballot-0 votes suffice for a fast decision: n−e, unless a
+// flexible FastSize overrides it.
+func (c Config) FastQuorum() int {
+	if c.FastSize != 0 {
+		return c.FastSize
+	}
+	return c.N - c.E
+}
+
+// ClassicQuorum returns n−f, the slow-path phase-2 quorum size.
 func (c Config) ClassicQuorum() int { return c.N - c.F }
+
+// RecoveryQuorum returns the number of 1B reports a new leader collects
+// before recovering: n−f, unless a flexible RecoverySize overrides it.
+func (c Config) RecoveryQuorum() int {
+	if c.RecoverySize != 0 {
+		return c.RecoverySize
+	}
+	return c.N - c.F
+}
+
+// FastOverlap returns RecoveryQuorum()+FastQuorum()−n: the minimum number
+// of members any fast quorum shares with any recovery quorum, and the
+// vote-count threshold a fast-decided value is guaranteed to reach among
+// the 1B reports. With classical sizes this is the familiar n−e−f.
+func (c Config) FastOverlap() int { return c.RecoveryQuorum() + c.FastQuorum() - c.N }
 
 // Others returns the identities of all processes except this one, in
 // ascending order.

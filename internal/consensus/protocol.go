@@ -36,6 +36,18 @@ type Protocol interface {
 	Decision() (v Value, ok bool)
 }
 
+// FastPathReporter is optionally implemented by protocols that can report
+// whether their decision was reached on the two-step fast path (a full
+// fast quorum of first-round votes) rather than a slow ballot or a learned
+// Decide. Reporting only — implementations must not let it influence the
+// protocol state machine. The WAN bench (F10) uses it to compute slow-path
+// rates per sweep point.
+type FastPathReporter interface {
+	// DecidedFast returns (fast, decided): decided mirrors Decision's ok;
+	// fast is meaningful only when decided is true.
+	DecidedFast() (fast, decided bool)
+}
+
 // LeaderOracle abstracts the Ω leader-election service of the paper's
 // Appendix C.1. At any moment it outputs a process the caller should treat
 // as the current leader; eventually all correct processes agree on the same

@@ -42,6 +42,12 @@ type Node struct {
 	// the network delayed every Propose past the fast ballot.
 	pendingMax consensus.Value
 
+	// fastDecided records that this node's own decision came from a full
+	// fast quorum of ballot-0 votes for its own proposal (the two-step
+	// path), rather than a slow ballot or a DecideMsg. Reporting only —
+	// never read by the protocol itself.
+	fastDecided bool
+
 	// rebroadcasts counts the remaining post-decision Decide
 	// re-announcements; after they are spent the node goes quiescent and
 	// answers stragglers reactively (see Deliver).
@@ -112,6 +118,13 @@ func (n *Node) Decision() (consensus.Value, bool) {
 		return consensus.None, false
 	}
 	return n.decided, true
+}
+
+// DecidedFast reports whether this node's decision was reached on the
+// two-step fast path (a full fast quorum of ballot-0 votes for its own
+// proposal). The WAN bench uses it to compute slow-path rates.
+func (n *Node) DecidedFast() (fast, decided bool) {
+	return n.fastDecided, !n.decided.IsNone()
 }
 
 // Start implements consensus.Protocol: it arms the initial 2Δ new-ballot
@@ -218,6 +231,7 @@ func (n *Node) onTwoB(from consensus.ProcessID, m *TwoB) []consensus.Effect {
 		if len(n.fastVotes)+1 < n.cfg.FastQuorum() {
 			return nil
 		}
+		n.fastDecided = true
 		return n.decide(m.Value)
 	}
 	// Second disjunct: bal ≠ 0 ∧ |P| ≥ n−f, as leader of m.Ballot.
@@ -277,7 +291,8 @@ func (n *Node) onOneA(from consensus.ProcessID, m *OneA) []consensus.Effect {
 }
 
 // onOneB collects state reports for a ballot we lead (Figure 1, line 24).
-// When n−f reports are in, the recovery rule computes a proposal.
+// When a recovery quorum of reports is in (n−f classically; RecoverySize
+// under flexible quorums), the recovery rule computes a proposal.
 func (n *Node) onOneB(from consensus.ProcessID, m *OneB) []consensus.Effect {
 	// Ballot 0 is the fast ballot and is never led; rejecting it here
 	// also protects the zero-value leader state from stray reports.
@@ -288,7 +303,7 @@ func (n *Node) onOneB(from consensus.ProcessID, m *OneB) []consensus.Effect {
 		return nil
 	}
 	n.lead.oneBs[from] = *m
-	if len(n.lead.oneBs) < n.cfg.ClassicQuorum() {
+	if len(n.lead.oneBs) < n.cfg.RecoveryQuorum() {
 		return nil
 	}
 	v := n.recover(n.lead.oneBs)

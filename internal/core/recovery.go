@@ -86,7 +86,10 @@ func (n *Node) recover(reports map[consensus.ProcessID]OneB) consensus.Value {
 		}
 		counts[r.Val]++
 	}
-	threshold := n.cfg.N - n.cfg.F - n.cfg.E
+	// n−f−e classically; under flexible quorum sizes (consensus.Config
+	// FastSize/RecoverySize) the same overlap argument gives
+	// RecoveryQuorum+FastQuorum−n, which FastOverlap computes for both.
+	threshold := n.cfg.FastOverlap()
 	if v := maxValueWithCountAbove(counts, threshold); !v.IsNone() {
 		return v // rule 3a: > n−f−e votes
 	}

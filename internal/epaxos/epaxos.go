@@ -138,8 +138,9 @@ type Node struct {
 	vbal      consensus.Ballot
 	decided   consensus.Value
 
-	fastAcks map[consensus.ProcessID]struct{}
-	lead     leaderState
+	fastAcks    map[consensus.ProcessID]struct{}
+	fastDecided bool
+	lead        leaderState
 }
 
 type leaderState struct {
@@ -193,6 +194,13 @@ func (n *Node) Decision() (consensus.Value, bool) {
 		return consensus.None, false
 	}
 	return n.decided, true
+}
+
+// DecidedFast reports whether this node committed on the fast path (as
+// owner, from a full fast quorum of PreAcceptOKs). The WAN bench uses it
+// to compute slow-path rates.
+func (n *Node) DecidedFast() (fast, decided bool) {
+	return n.fastDecided, !n.decided.IsNone()
 }
 
 // Start implements consensus.Protocol.
@@ -258,6 +266,7 @@ func (n *Node) onPreAcceptOK(from consensus.ProcessID, m *PreAcceptOK) []consens
 	if len(n.fastAcks)+1 < n.cfg.FastQuorum() {
 		return nil
 	}
+	n.fastDecided = true
 	return n.commit(m.Value)
 }
 

@@ -18,6 +18,15 @@
 // the paper's sense whenever n ≥ max{2e+f+1, 2f+1}. Below that count the
 // recovery rule can pick a value different from a fast-decided one — the T1
 // frontier bench demonstrates exactly this.
+//
+// Flexible quorums (Fast Flexible Paxos, Howard et al.): when the config
+// carries FastSize/RecoverySize overrides, the fast path waits for
+// FastQuorum votes and recovery collects RecoveryQuorum 1B reports, with
+// the O4 vote threshold generalized to FastOverlap = recovery+fast−n.
+// quorum.NewFlex guarantees recovery+2·fast > 2n, which keeps the O4 pick
+// unique; the price is leader-change liveness (recovery needs RecoverySize
+// live processes instead of n−f). With zero overrides every formula
+// reduces to the classical one.
 package fastpaxos
 
 import (
@@ -116,8 +125,9 @@ type Node struct {
 	decided    consensus.Value
 	pendingMax consensus.Value
 
-	fastVotes map[consensus.ProcessID]struct{}
-	lead      leaderState
+	fastVotes   map[consensus.ProcessID]struct{}
+	fastDecided bool
+	lead        leaderState
 }
 
 type leaderState struct {
@@ -131,13 +141,20 @@ type leaderState struct {
 var _ consensus.Protocol = (*Node)(nil)
 
 // New builds a Fast Paxos node, checking Lamport's bound
-// n ≥ max{2e+f+1, 2f+1}.
+// n ≥ max{2e+f+1, 2f+1}. Flexible configurations (FastSize/RecoverySize
+// overrides) are instead checked against the Fast Flexible Paxos
+// intersection requirements, which cfg.Validate delegates to
+// quorum.CheckFlex — Lamport's count no longer applies because the
+// deployment explicitly trades recovery resilience for the smaller fast
+// quorum.
 func New(cfg consensus.Config, omega consensus.LeaderOracle) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("fastpaxos: %w", err)
 	}
-	if err := quorum.Check(quorum.Lamport, cfg.N, cfg.F, cfg.E); err != nil {
-		return nil, fmt.Errorf("fastpaxos: %w", err)
+	if !cfg.Flexible() {
+		if err := quorum.Check(quorum.Lamport, cfg.N, cfg.F, cfg.E); err != nil {
+			return nil, fmt.Errorf("fastpaxos: %w", err)
+		}
 	}
 	return NewUnchecked(cfg, omega), nil
 }
@@ -165,6 +182,14 @@ func (n *Node) Decision() (consensus.Value, bool) {
 		return consensus.None, false
 	}
 	return n.decided, true
+}
+
+// DecidedFast reports whether this node's decision was reached on the
+// two-step fast path (a full fast quorum of ballot-0 votes for its own
+// proposal), as opposed to a slow ballot or a DecideMsg learned from
+// another node. The WAN bench uses it to compute slow-path rates.
+func (n *Node) DecidedFast() (fast, decided bool) {
+	return n.fastDecided, !n.decided.IsNone()
 }
 
 // Start implements consensus.Protocol.
@@ -240,6 +265,7 @@ func (n *Node) onTwoB(from consensus.ProcessID, m *TwoB) []consensus.Effect {
 		if len(n.fastVotes) < n.cfg.FastQuorum() {
 			return nil
 		}
+		n.fastDecided = true
 		return n.decide(m.Value)
 	}
 	if n.lead.ballot != m.Ballot || !n.lead.sentTwoA || m.Value != n.lead.val {
@@ -280,7 +306,8 @@ func (n *Node) onOneA(from consensus.ProcessID, m *OneA) []consensus.Effect {
 	}
 }
 
-// onOneB runs Lamport's O4 recovery once n−f reports are in.
+// onOneB runs Lamport's O4 recovery once a recovery quorum of reports is
+// in (n−f classically; RecoverySize under flexible quorums).
 func (n *Node) onOneB(from consensus.ProcessID, m *OneB) []consensus.Effect {
 	// Ballot 0 is never led; this also protects the zero-value leader
 	// state from stray reports.
@@ -288,7 +315,7 @@ func (n *Node) onOneB(from consensus.ProcessID, m *OneB) []consensus.Effect {
 		return nil
 	}
 	n.lead.oneBs[from] = *m
-	if len(n.lead.oneBs) < n.cfg.ClassicQuorum() {
+	if len(n.lead.oneBs) < n.cfg.RecoveryQuorum() {
 		return nil
 	}
 	v := n.recover(n.lead.oneBs)
@@ -303,9 +330,11 @@ func (n *Node) onOneB(from consensus.ProcessID, m *OneB) []consensus.Effect {
 }
 
 // recover implements the coordinator's value-selection rule: highest
-// slow-ballot vote; else any value with ≥ n−e−f fast votes in Q (unique at
-// n ≥ 2e+f+1; maximal for determinism below the bound); else the
-// coordinator's own or a pending proposal; else the greatest visible vote.
+// slow-ballot vote; else any value with ≥ FastOverlap fast votes in Q
+// (n−e−f classically — unique at n ≥ 2e+f+1, and unique under any sound
+// flexible sizing since recovery+2·fast > 2n; maximal for determinism
+// below the bound); else the coordinator's own or a pending proposal;
+// else the greatest visible vote.
 func (n *Node) recover(reports map[consensus.ProcessID]OneB) consensus.Value {
 	members := make([]consensus.ProcessID, 0, len(reports))
 	for q := range reports {
@@ -335,7 +364,7 @@ func (n *Node) recover(reports map[consensus.ProcessID]OneB) consensus.Value {
 			counts[v]++
 		}
 	}
-	threshold := n.cfg.N - n.cfg.E - n.cfg.F
+	threshold := n.cfg.FastOverlap()
 	best := consensus.None
 	for v, c := range counts {
 		if c >= threshold {

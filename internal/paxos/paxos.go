@@ -165,6 +165,13 @@ func (n *Node) Decision() (consensus.Value, bool) {
 	return n.decided, true
 }
 
+// DecidedFast implements the optional fast-path reporting interface the
+// WAN bench consumes. Classic Paxos has no fast path, so the first result
+// is always false.
+func (n *Node) DecidedFast() (fast, decided bool) {
+	return false, !n.decided.IsNone()
+}
+
 // Start implements consensus.Protocol.
 func (n *Node) Start() []consensus.Effect {
 	return []consensus.Effect{

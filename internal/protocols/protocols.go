@@ -22,6 +22,11 @@ const (
 	CoreObject = "core-object"
 	Paxos      = "paxos"
 	FastPaxos  = "fastpaxos"
+	// FastPaxosFlex is Fast Paxos under the smallest sound flexible fast
+	// quorum (a bare majority, paid for with an all-but-nothing recovery
+	// quorum — quorum.SmallestFastFlex). Same state machine as FastPaxos;
+	// only the Config sizes differ.
+	FastPaxosFlex = "fastpaxos-flex"
 )
 
 // CoreTaskFactory builds the paper's task-mode protocol.
@@ -44,6 +49,21 @@ func FastPaxosFactory(cfg consensus.Config, oracle consensus.LeaderOracle) conse
 	return fastpaxos.NewUnchecked(cfg, oracle)
 }
 
+// FastPaxosFlexFactory builds Fast Paxos with the smallest sound flexible
+// fast quorum for the config's (n, f, e): FastSize/RecoverySize are filled
+// from quorum.SmallestFastFlex before construction. Panics if the majority
+// fast quorum cannot survive e crashes — callers sweep only combinations
+// quorum.SmallestFastFlex accepts (the F10 bench filters on it).
+func FastPaxosFlexFactory(cfg consensus.Config, oracle consensus.LeaderOracle) consensus.Protocol {
+	fl, err := quorum.SmallestFastFlex(cfg.N, cfg.F, cfg.E)
+	if err != nil {
+		panic(fmt.Sprintf("protocols: %s n=%d f=%d e=%d: %v", FastPaxosFlex, cfg.N, cfg.F, cfg.E, err))
+	}
+	cfg.FastSize = fl.Fast
+	cfg.RecoverySize = fl.Recovery
+	return fastpaxos.NewUnchecked(cfg, oracle)
+}
+
 // EPaxosFactory builds the EPaxos-style baseline for an instance owned by
 // owner; only the owner's proposals are registered.
 func EPaxosFactory(owner consensus.ProcessID) runner.Factory {
@@ -61,10 +81,11 @@ func CoreAblatedFactory(mode core.Mode, opts core.Options) runner.Factory {
 }
 
 var factories = map[string]runner.Factory{
-	CoreTask:   CoreTaskFactory,
-	CoreObject: CoreObjectFactory,
-	Paxos:      PaxosFactory,
-	FastPaxos:  FastPaxosFactory,
+	CoreTask:      CoreTaskFactory,
+	CoreObject:    CoreObjectFactory,
+	Paxos:         PaxosFactory,
+	FastPaxos:     FastPaxosFactory,
+	FastPaxosFlex: FastPaxosFlexFactory,
 }
 
 // ByName returns the named factory. EPaxos instances are owner-specific;
@@ -97,6 +118,12 @@ func MinProcesses(name string, f, e int) (int, error) {
 		return quorum.ObjectMinProcesses(f, e), nil
 	case FastPaxos:
 		return quorum.LamportMinProcesses(f, e), nil
+	case FastPaxosFlex:
+		// Flexible quorums don't evade Lamport's count for f-resilient
+		// recovery — they trade recovery resilience instead. The majority
+		// fast quorum survives e crashes whenever n ≥ 2e+1, which e ≤ f
+		// subsumes under 2f+1.
+		return quorum.PlainMinProcesses(f), nil
 	case Paxos:
 		return quorum.PlainMinProcesses(f), nil
 	default:

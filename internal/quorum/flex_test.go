@@ -1,0 +1,285 @@
+package quorum
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"testing"
+)
+
+// minIntersection returns the smallest possible |A ∩ B| over ALL placements
+// of counting quorums A (size a) and B (size b) on n processes, by
+// brute-force enumeration of subsets as bitmasks. It is the ground-truth
+// oracle the property tests compare formulas against; the closed form is
+// max(0, a+b−n), but the tests must not assume that.
+func minIntersection(n, a, b int) int {
+	if a < 0 || b < 0 || a > n || b > n {
+		panic(fmt.Sprintf("minIntersection(%d,%d,%d)", n, a, b))
+	}
+	sizeA := subsetsOfSize(n, a)
+	sizeB := subsetsOfSize(n, b)
+	best := n + 1
+	for _, x := range sizeA {
+		for _, y := range sizeB {
+			if c := bits.OnesCount32(x & y); c < best {
+				best = c
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}
+
+var subsetMemo = map[[2]int][]uint32{}
+
+func subsetsOfSize(n, k int) []uint32 {
+	key := [2]int{n, k}
+	if s, ok := subsetMemo[key]; ok {
+		return s
+	}
+	var out []uint32
+	for m := uint32(0); m < 1<<uint(n); m++ {
+		if bits.OnesCount32(m) == k {
+			out = append(out, m)
+		}
+	}
+	subsetMemo[key] = out
+	return out
+}
+
+// requiredOverlap returns the fast/recovery-quorum overlap each definition
+// needs: the recovery rule must see a fast-decided value with enough votes
+// to out-count any competitor, and the three bounds differ by exactly one
+// unit of overlap (Lamport e+1, task e, object e−1 — the paper's headline).
+func requiredOverlap(mode Mode, e int) int {
+	switch mode {
+	case Task:
+		return e
+	case Object:
+		return e - 1
+	case Lamport:
+		return e + 1
+	}
+	panic("bad mode")
+}
+
+// TestBoundsMatchIntersectionOracle checks, for every (n, f, e) with
+// n ≤ 11, that Check(mode) accepts exactly the combinations where the
+// brute-forced worst-case fast/recovery overlap min|Qf ∩ Q1| (with
+// |Qf| = n−e, |Q1| = n−f) reaches the mode's required overlap — so the
+// closed-form bounds in quorum.go agree with actual set intersections, not
+// just with their own algebra.
+func TestBoundsMatchIntersectionOracle(t *testing.T) {
+	for n := 1; n <= 11; n++ {
+		for f := 0; 2*f+1 <= 11; f++ {
+			for e := 0; e <= f; e++ {
+				if n-e < 0 || n-f < 0 {
+					continue
+				}
+				overlap := minIntersection(n, n-e, n-f)
+				for _, mode := range []Mode{Task, Object, Lamport} {
+					wantOK := n >= PlainMinProcesses(f) && overlap >= requiredOverlap(mode, e)
+					gotOK := Check(mode, n, f, e) == nil
+					if gotOK != wantOK {
+						t.Errorf("Check(%v, n=%d, f=%d, e=%d) = %v, oracle overlap=%d (need %d, 2f+1=%d)",
+							mode, n, f, e, gotOK, overlap, requiredOverlap(mode, e), PlainMinProcesses(f))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClassicQuorumsIntersect: at every accepted (n, f) two classic quorums
+// of size n−f always share a process (the Paxos-side invariant all three
+// protocols rely on for slow ballots).
+func TestClassicQuorumsIntersect(t *testing.T) {
+	for f := 0; f <= 5; f++ {
+		for n := PlainMinProcesses(f); n <= 11; n++ {
+			if got := minIntersection(n, n-f, n-f); got < 1 {
+				t.Errorf("n=%d f=%d: classic quorums can be disjoint (overlap %d)", n, f, got)
+			}
+		}
+	}
+}
+
+// flexOracleSound is the operational soundness oracle for flexible quorum
+// sizes: it simulates the worst-case adversarial schedule on counting
+// quorums instead of re-deriving NewFlex's inequalities.
+//
+// Schedule: the fast quorum Qf = {0..fast−1} fast-decides v; every acceptor
+// outside Qf votes for a competing value w > v (each acceptor votes once at
+// ballot 0, so this is the most support w can ever have). The adversary
+// then picks the recovery quorum Q1 (size recovery) to contain as many
+// w-voters as possible. Recovery is sound iff in every such Q1 the O4 rule
+// identifies v uniquely: v reaches the vote threshold recovery+fast−n and
+// w does not. Separately, a classic (phase-2) quorum that commits at a slow
+// ballot must be visible to every recovery quorum.
+func flexOracleSound(n, f, e, fast, recovery int) bool {
+	if e < 0 || f < 0 || e > f || n < PlainMinProcesses(f) {
+		return false
+	}
+	if fast < 1 || fast > n || recovery < 1 || recovery > n {
+		return false
+	}
+	if fast > n-e { // fast path must survive e crashes
+		return false
+	}
+	classic := n - f
+	if minIntersection(n, recovery, classic) < 1 {
+		return false
+	}
+	wVotes := recovery
+	if n-fast < wVotes {
+		wVotes = n - fast
+	}
+	vVotes := recovery - wVotes
+	threshold := recovery + fast - n
+	if threshold < 1 || vVotes < threshold || wVotes >= threshold {
+		return false
+	}
+	return true
+}
+
+// TestFlexRejectsExactlyUnsoundCombos is the acceptance-criterion test: for
+// all n ≤ 11, all 0 ≤ e ≤ f, and ALL candidate sizes (fast, recovery) in
+// [0, n] (0 selects the classical default), NewFlex accepts exactly the
+// combinations the operational oracle proves sound, and rejections carry
+// ErrUnsound (or the threshold/infeasibility errors for malformed inputs).
+func TestFlexRejectsExactlyUnsoundCombos(t *testing.T) {
+	checked, accepted := 0, 0
+	for n := 1; n <= 11; n++ {
+		for f := 0; f <= 5; f++ {
+			for e := 0; e <= f; e++ {
+				for fastArg := 0; fastArg <= n; fastArg++ {
+					for recArg := 0; recArg <= n; recArg++ {
+						fast, rec := fastArg, recArg
+						if fast == 0 {
+							fast = n - e
+						}
+						if rec == 0 {
+							rec = n - f
+						}
+						fl, err := NewFlex(n, f, e, fastArg, recArg)
+						want := flexOracleSound(n, f, e, fast, rec)
+						checked++
+						if (err == nil) != want {
+							t.Fatalf("NewFlex(n=%d f=%d e=%d fast=%d rec=%d) err=%v, oracle sound=%v",
+								n, f, e, fastArg, recArg, err, want)
+						}
+						if err != nil {
+							continue
+						}
+						accepted++
+						if fl.Fast != fast || fl.Recovery != rec || fl.Classic != n-f {
+							t.Fatalf("NewFlex(n=%d f=%d e=%d fast=%d rec=%d) resolved %v", n, f, e, fastArg, recArg, fl)
+						}
+						// A sound configuration guarantees at least one
+						// fast/recovery overlap vote, and its overlap
+						// threshold really is the worst-case intersection.
+						if fl.FastOverlap() < 1 {
+							t.Fatalf("%v: FastOverlap %d < 1", fl, fl.FastOverlap())
+						}
+						if got := minIntersection(n, fl.Fast, fl.Recovery); got != fl.FastOverlap() {
+							t.Fatalf("%v: FastOverlap %d, brute-forced min intersection %d", fl, fl.FastOverlap(), got)
+						}
+						if fl.RecoveryResilience() != n-rec {
+							t.Fatalf("%v: RecoveryResilience %d", fl, fl.RecoveryResilience())
+						}
+					}
+				}
+			}
+		}
+	}
+	if accepted == 0 || accepted == checked {
+		t.Fatalf("degenerate sweep: %d/%d accepted", accepted, checked)
+	}
+	t.Logf("flex sweep: %d combos, %d sound", checked, accepted)
+}
+
+// TestFlexDefaultsMatchLamport: with both sizes defaulted the flexible
+// construction is exactly classical Fast Paxos, so it must be accepted
+// precisely when Lamport's bound holds.
+func TestFlexDefaultsMatchLamport(t *testing.T) {
+	for n := 1; n <= 11; n++ {
+		for f := 0; f <= 5; f++ {
+			for e := 0; e <= f; e++ {
+				err := CheckFlex(n, f, e, 0, 0)
+				if wantOK := Check(Lamport, n, f, e) == nil; (err == nil) != wantOK {
+					t.Errorf("CheckFlex(n=%d f=%d e=%d, defaults) err=%v; Lamport ok=%v", n, f, e, err, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestFlexSideMinimality: FlexFastSide and FlexClassicSide return the
+// smallest size satisfying the pair-intersection requirement — the value
+// they return is sound per the oracle's fast-ambiguity condition and one
+// less is not.
+func TestFlexSideMinimality(t *testing.T) {
+	for n := 1; n <= 11; n++ {
+		for recovery := 1; recovery <= n; recovery++ {
+			qf := FlexFastSide(n, recovery)
+			if recovery+2*qf <= 2*n {
+				t.Errorf("FlexFastSide(%d,%d)=%d unsound", n, recovery, qf)
+			}
+			if qf > 1 && recovery+2*(qf-1) > 2*n {
+				t.Errorf("FlexFastSide(%d,%d)=%d not minimal", n, recovery, qf)
+			}
+		}
+		for fast := 1; fast <= n; fast++ {
+			q1 := FlexClassicSide(n, fast)
+			if q1+2*fast <= 2*n {
+				t.Errorf("FlexClassicSide(%d,%d)=%d unsound", n, fast, q1)
+			}
+			if q1 > 1 && (q1-1)+2*fast > 2*n {
+				t.Errorf("FlexClassicSide(%d,%d)=%d not minimal", n, fast, q1)
+			}
+		}
+	}
+}
+
+// TestSmallestFastFlex: the extreme flex point uses a bare-majority fast
+// quorum and is sound whenever it is constructible; when e crashes cannot
+// be survived by a majority quorum the constructor refuses with ErrUnsound.
+func TestSmallestFastFlex(t *testing.T) {
+	for n := 1; n <= 11; n++ {
+		for f := 0; 2*f+1 <= n && f <= 5; f++ {
+			for e := 0; e <= f; e++ {
+				fl, err := SmallestFastFlex(n, f, e)
+				majority := n/2 + 1
+				if majority > n-e {
+					if err == nil {
+						t.Errorf("SmallestFastFlex(%d,%d,%d) accepted but majority %d > n−e=%d", n, f, e, majority, n-e)
+					} else if !errors.Is(err, ErrUnsound) {
+						t.Errorf("SmallestFastFlex(%d,%d,%d): %v, want ErrUnsound", n, f, e, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("SmallestFastFlex(%d,%d,%d): %v", n, f, e, err)
+					continue
+				}
+				if fl.Fast != majority {
+					t.Errorf("SmallestFastFlex(%d,%d,%d): fast %d, want majority %d", n, f, e, fl.Fast, majority)
+				}
+				if !flexOracleSound(n, f, e, fl.Fast, fl.Recovery) {
+					t.Errorf("SmallestFastFlex(%d,%d,%d) = %v unsound per oracle", n, f, e, fl)
+				}
+				// No sound configuration can have a smaller fast quorum:
+				// two sub-majority quorums can be disjoint, so two values
+				// could both be fast-decided.
+				for fast := 1; fast < majority; fast++ {
+					for rec := 1; rec <= n; rec++ {
+						if flexOracleSound(n, f, e, fast, rec) {
+							t.Errorf("n=%d: oracle accepts sub-majority fast quorum %d (rec %d)", n, fast, rec)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// FuzzRangeRouter cross-checks RangeRouter against a brute-force oracle:
+// the bounds are decoded from a fuzz-controlled spec, the routed group for
+// every probed key must equal a linear scan over the bounds, and the
+// router's contract must hold — groups in range, routing monotone in key
+// order, and every boundary key landing in the group it opens. Rejected
+// (non-ascending) specs must never construct a router.
+func FuzzRangeRouter(f *testing.F) {
+	f.Add("b|d|f", "a")
+	f.Add("", "anything")
+	f.Add("a|a", "a")       // rejected: not strictly ascending
+	f.Add("b|a", "c")       // rejected: descending
+	f.Add("k0|k1|k9", "k5") // planner-style bounds
+	f.Fuzz(func(t *testing.T, spec, probe string) {
+		var bounds []string
+		if spec != "" {
+			bounds = strings.Split(spec, "|")
+		}
+		r, err := NewRangeRouter(bounds)
+		ascending := true
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				ascending = false
+			}
+		}
+		if !ascending {
+			if err == nil {
+				t.Fatalf("bounds %q not strictly ascending but accepted", bounds)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("ascending bounds %q rejected: %v", bounds, err)
+		}
+		if got, want := r.Groups(), len(bounds)+1; got != want {
+			t.Fatalf("Groups() = %d, want %d", got, want)
+		}
+
+		// Oracle: group of key = number of bounds ≤ key, by linear scan.
+		oracle := func(key string) int {
+			g := 0
+			for _, b := range bounds {
+				if b <= key {
+					g++
+				}
+			}
+			return g
+		}
+
+		// Probe the fuzz key plus every boundary and its neighbors — the
+		// off-by-one surface of the binary search.
+		probes := []string{probe, "", probe + "\x00"}
+		for _, b := range bounds {
+			probes = append(probes, b, b+"\x00")
+			if b != "" {
+				probes = append(probes, b[:len(b)-1]) // just below the bound
+			}
+		}
+		for _, key := range probes {
+			got := r.Group(key)
+			if want := oracle(key); got != want {
+				t.Fatalf("Group(%q) = %d, oracle says %d (bounds %q)", key, got, want, bounds)
+			}
+			if got < 0 || got >= r.Groups() {
+				t.Fatalf("Group(%q) = %d out of [0, %d)", key, got, r.Groups())
+			}
+		}
+		// Monotone: sorting the probes must sort their groups.
+		sorted := append([]string(nil), probes...)
+		sort.Strings(sorted)
+		prev := -1
+		for _, key := range sorted {
+			g := r.Group(key)
+			if g < prev {
+				t.Fatalf("routing not monotone: key %q group %d after group %d", key, g, prev)
+			}
+			prev = g
+		}
+		// Each bound opens its own group.
+		for i, b := range bounds {
+			if g := r.Group(b); g != i+1 {
+				t.Fatalf("bound %q routes to group %d, want %d", b, g, i+1)
+			}
+		}
+	})
+}

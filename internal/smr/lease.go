@@ -69,6 +69,11 @@ type LeaseOptions struct {
 	// to prove the linearizability checker catches stale lease reads.
 	// Never enable outside tests.
 	UnsafeZeroEpsilon bool
+	// Now, when set, replaces the replica's monotonic lease clock: it must
+	// return nondecreasing elapsed time since EnableLeases. Tests advance a
+	// fake clock past expiry with it instead of sleeping out real lease
+	// windows. Nil uses the runtime's monotonic clock.
+	Now func() time.Duration
 }
 
 // leaseState is the replica-side lease machinery around the deterministic
@@ -92,8 +97,14 @@ type leaseState struct {
 
 // now reads this replica's monotonic clock (nanoseconds since
 // EnableLeases); time.Since uses the runtime's monotonic reading, so wall
-// clock jumps cannot move lease windows.
-func (ls *leaseState) now() int64 { return time.Since(ls.start).Nanoseconds() }
+// clock jumps cannot move lease windows. A LeaseOptions.Now hook replaces
+// the clock wholesale (fake-clock tests).
+func (ls *leaseState) now() int64 {
+	if ls.opts.Now != nil {
+		return ls.opts.Now().Nanoseconds()
+	}
+	return time.Since(ls.start).Nanoseconds()
+}
 
 const (
 	fencedRetain    = 4096

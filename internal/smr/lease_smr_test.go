@@ -272,6 +272,11 @@ func TestLeaseTakeoverRevokesPreviousHolder(t *testing.T) {
 // cannot serve past expiry: the lease lapses on the local monotonic clock
 // regardless of the stuck WAL, and the fallback read barrier (which needs
 // durability) blocks rather than answering from possibly-stale state.
+//
+// Expiry is driven through the LeaseOptions.Now fake clock, not a
+// wall-clock sleep: advancing the shared clock past Duration−ε is exact
+// (no scheduling jitter can land the test short of or long past the
+// window) and costs no wall time.
 func TestLeaseExpiryUnderFsyncStall(t *testing.T) {
 	var stall atomic.Bool
 	release := make(chan struct{})
@@ -283,9 +288,16 @@ func TestLeaseExpiryUnderFsyncStall(t *testing.T) {
 			<-release
 		}
 	}
+	// All three replicas share one fake lease clock (zero skew; ε still
+	// guards the protocol's real-skew story elsewhere).
+	var fakeClock atomic.Int64
 	replicas, _, _, cleanup := startLeaseCluster(t, 3, 1, 1, leaseClusterOptions{
-		tick:     time.Millisecond,
-		lease:    &smr.LeaseOptions{Duration: 300 * time.Millisecond, Epsilon: 30 * time.Millisecond},
+		tick: time.Millisecond,
+		lease: &smr.LeaseOptions{
+			Duration: 300 * time.Millisecond,
+			Epsilon:  30 * time.Millisecond,
+			Now:      func() time.Duration { return time.Duration(fakeClock.Load()) },
+		},
 		durable:  true,
 		syncHook: hook,
 	})
@@ -307,7 +319,7 @@ func TestLeaseExpiryUnderFsyncStall(t *testing.T) {
 		t.Fatalf("GETL during stall inside window = %q, %t, %v", v, found, err)
 	}
 
-	time.Sleep(350 * time.Millisecond) // past Duration-ε on p0's clock
+	fakeClock.Store(int64(350 * time.Millisecond)) // past Duration−ε on p0's clock
 	if replicas[0].HoldsLease() {
 		t.Fatal("lease still valid past expiry")
 	}

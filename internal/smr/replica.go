@@ -141,7 +141,9 @@ type Replica struct {
 	rgate readGate
 }
 
-// NewReplica builds a replica. Call BindTransport, then Start.
+// NewReplica builds a replica. Call BindTransport, then Start. Flexible
+// quorum sizes (cfg.FastSize/cfg.RecoverySize, see internal/quorum.NewFlex)
+// are validated here and honored by every slot's core node.
 func NewReplica(cfg consensus.Config, tick time.Duration) (*Replica, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("smr: %w", err)

@@ -60,6 +60,15 @@ type TCPOptions struct {
 	BackoffMin time.Duration
 	// BackoffMax caps the backoff; jitter of up to backoff/2 is added.
 	BackoffMax time.Duration
+	// LinkDelay, when non-nil, returns an artificial one-way latency for
+	// frames to each peer (internal/wan derives it from a geo topology).
+	// Frames are stamped at enqueue time and the peer's writer goroutine
+	// sleeps until stamp+delay before writing, which preserves per-peer
+	// FIFO order and lets concurrent frames pipeline — a link with
+	// latency, not a link with reduced bandwidth. The function must be
+	// safe for concurrent use and is consulted once per Send. Nil (the
+	// default) adds no delay.
+	LinkDelay func(to consensus.ProcessID) time.Duration
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -118,11 +127,18 @@ type TCP struct {
 
 var _ Transport = (*TCP)(nil)
 
+// tcpQueued is one outbound frame plus its earliest write instant (zero
+// when no LinkDelay is configured).
+type tcpQueued struct {
+	frame []byte
+	due   time.Time
+}
+
 // tcpPeer is one peer's outbound state: the frame queue its writer drains
 // and the link state shared between the writer and SetPeerAddr/Close.
 type tcpPeer struct {
 	id    consensus.ProcessID
-	queue chan []byte
+	queue chan tcpQueued
 
 	mu       sync.Mutex
 	conn     net.Conn
@@ -299,8 +315,14 @@ func (t *TCP) Send(to consensus.ProcessID, msg consensus.Message) error {
 	if err != nil {
 		return err
 	}
+	q := tcpQueued{frame: frame}
+	if t.opts.LinkDelay != nil {
+		if d := t.opts.LinkDelay(to); d > 0 {
+			q.due = time.Now().Add(d)
+		}
+	}
 	select {
-	case p.queue <- frame:
+	case p.queue <- q:
 		t.stats.enqueue()
 		return nil
 	default:
@@ -323,7 +345,7 @@ func (t *TCP) peer(to consensus.ProcessID) (*tcpPeer, error) {
 	if _, ok := t.addrs[to]; !ok {
 		return nil, fmt.Errorf("tcp: no address for %s", to)
 	}
-	p := &tcpPeer{id: to, queue: make(chan []byte, t.opts.QueueDepth)}
+	p := &tcpPeer{id: to, queue: make(chan tcpQueued, t.opts.QueueDepth)}
 	t.peers[to] = p
 	t.wg.Add(1)
 	go t.writeLoop(p)
@@ -341,9 +363,24 @@ func (t *TCP) writeLoop(p *tcpPeer) {
 		case <-t.dialCtx.Done():
 			p.shutdown()
 			return
-		case frame := <-p.queue:
+		case q := <-p.queue:
 			t.stats.dequeue()
-			t.writeOne(p, frame, rng)
+			if !q.due.IsZero() {
+				// LinkDelay shim: hold the frame until its due instant.
+				// Later frames' windows overlap (stamps are taken at
+				// enqueue), so a busy link still pipelines.
+				if wait := time.Until(q.due); wait > 0 {
+					timer := time.NewTimer(wait)
+					select {
+					case <-t.dialCtx.Done():
+						timer.Stop()
+						p.shutdown()
+						return
+					case <-timer.C:
+					}
+				}
+			}
+			t.writeOne(p, q.frame, rng)
 		}
 	}
 }

@@ -1,0 +1,55 @@
+package wan
+
+import (
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/transport"
+)
+
+// MeshFault returns a fault injector for transport.Mesh that delays every
+// message by the topology's one-way latency for its (from, to) link,
+// scaled. The injector is fully deterministic: the delay is a pure function
+// of the link, with no randomness, so a Mesh-backed WAN run has exactly one
+// delay schedule per topology. Pairs outside the topology (and self-sends)
+// pass through undelayed. Compose with chaos faults by consulting this
+// injector from the chaos verdict function rather than installing both.
+func (t Topology) MeshFault(scale float64) transport.FaultFunc {
+	n := t.N()
+	// Precomputed so the per-send hot path is two slice indexes.
+	delays := make([][]time.Duration, n)
+	for i := 0; i < n; i++ {
+		delays[i] = make([]time.Duration, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				delays[i][j] = t.OneWayDelay(i, j, scale)
+			}
+		}
+	}
+	return func(from, to consensus.ProcessID) transport.FaultVerdict {
+		if int(from) < 0 || int(from) >= n || int(to) < 0 || int(to) >= n || from == to {
+			return transport.FaultVerdict{}
+		}
+		return transport.FaultVerdict{Delay: delays[from][to]}
+	}
+}
+
+// TCPLinkDelay returns the per-peer outbound delay function for
+// transport.TCPOptions.LinkDelay: frames from self to each peer are held on
+// the peer's writer goroutine for the topology's scaled one-way latency.
+// Unknown peers get no delay.
+func (t Topology) TCPLinkDelay(self consensus.ProcessID, scale float64) func(consensus.ProcessID) time.Duration {
+	n := t.N()
+	delays := make([]time.Duration, n)
+	for j := 0; j < n; j++ {
+		if j != int(self) && int(self) >= 0 && int(self) < n {
+			delays[j] = t.OneWayDelay(int(self), j, scale)
+		}
+	}
+	return func(to consensus.ProcessID) time.Duration {
+		if int(to) < 0 || int(to) >= n {
+			return 0
+		}
+		return delays[to]
+	}
+}

@@ -1,0 +1,272 @@
+package wan_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/wan"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	names := wan.PresetNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d presets: %v", len(names), names)
+	}
+	for _, name := range names {
+		topo, err := wan.Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		for n := 1; n <= topo.N(); n++ {
+			p, err := topo.Prefix(n)
+			if err != nil {
+				t.Fatalf("%s.Prefix(%d): %v", name, n, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s.Prefix(%d): %v", name, n, err)
+			}
+		}
+		if _, err := topo.Prefix(topo.N() + 1); err == nil {
+			t.Errorf("%s.Prefix(N+1) accepted", name)
+		}
+		if _, err := topo.Prefix(0); err == nil {
+			t.Errorf("%s.Prefix(0) accepted", name)
+		}
+	}
+	if _, err := wan.Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+// TestC5QuorumOrdering checks the paper's C5 claim analytically on the
+// spread topology (one replica per region, deployment order): at f=e=2 the
+// object protocol (n=5, fast quorum 3) assembles its fast quorum a full
+// region-hop earlier than Fast Paxos (n=7, fast quorum 5), with the task
+// protocol and flexible-quorum Fast Paxos in between — and that the
+// advantage disappears on the co-located geo5x7 layout. The F10 bench
+// measures the same ordering end-to-end.
+func TestC5QuorumOrdering(t *testing.T) {
+	spread, err := wan.Preset("spread7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f, e = 2, 2
+	quorumFloor := func(topo wan.Topology, n, q int) consensus.Duration {
+		p, err := topo.Prefix(n)
+		if err != nil {
+			t.Fatalf("prefix %d: %v", n, err)
+		}
+		return p.QuorumRTT(0, q)
+	}
+	object := quorumFloor(spread, quorum.ObjectMinProcesses(f, e), quorum.ObjectMinProcesses(f, e)-e)
+	task := quorumFloor(spread, quorum.TaskMinProcesses(f, e), quorum.TaskMinProcesses(f, e)-e)
+	nLam := quorum.LamportMinProcesses(f, e)
+	fast := quorumFloor(spread, nLam, nLam-e)
+	fl, err := quorum.SmallestFastFlex(nLam, f, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flex := quorumFloor(spread, nLam, fl.Fast)
+	if !(object < task && task < fast) {
+		t.Errorf("C5 ordering violated on spread7: object=%dms task=%dms fastpaxos=%dms", object, task, fast)
+	}
+	if flex >= fast {
+		t.Errorf("flex quorum %d not faster than classical on spread7: flex=%dms fastpaxos=%dms", fl.Fast, flex, fast)
+	}
+	if fast-object < 100 {
+		t.Errorf("spread7 advantage %dms, expected the claimed hundreds of ms (object=%d fastpaxos=%d)",
+			fast-object, object, fast)
+	}
+	// Honest contrast: with replicas co-located round-robin over 5 regions,
+	// Fast Paxos's larger quorum is absorbed by the local copies.
+	colo, err := wan.Preset("geo5x7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coloFast := quorumFloor(colo, nLam, nLam-e)
+	coloObject := quorumFloor(colo, quorum.ObjectMinProcesses(f, e), quorum.ObjectMinProcesses(f, e)-e)
+	if coloFast-coloObject >= fast-object {
+		t.Errorf("co-location should shrink the gap: spread %dms, geo5x7 %dms", fast-object, coloFast-coloObject)
+	}
+}
+
+func TestOneWayDelayDeterministicAndScaled(t *testing.T) {
+	topo, err := wan.Preset("geo3x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < topo.N(); i++ {
+		for j := 0; j < topo.N(); j++ {
+			d1 := topo.OneWayDelay(i, j, 1.0)
+			if d2 := topo.OneWayDelay(i, j, 1.0); d2 != d1 {
+				t.Fatalf("OneWayDelay(%d,%d) nondeterministic: %v vs %v", i, j, d1, d2)
+			}
+			if dj := topo.OneWayDelay(j, i, 1.0); dj != d1 {
+				t.Fatalf("OneWayDelay asymmetric: (%d,%d)=%v (%d,%d)=%v", i, j, d1, j, i, dj)
+			}
+			if half := topo.OneWayDelay(i, j, 0.5); half != d1/2 {
+				t.Fatalf("scale 0.5: got %v, want %v", half, d1/2)
+			}
+			want := time.Duration(topo.RTTBetween(i, j)) * time.Millisecond / 2
+			if d1 != want {
+				t.Fatalf("OneWayDelay(%d,%d)=%v, want RTT/2=%v", i, j, d1, want)
+			}
+		}
+	}
+	// Same-region slots (0 and 3 are both in the first region) are free.
+	if d := topo.OneWayDelay(0, 3, 1.0); d != 0 {
+		t.Fatalf("same-region delay %v", d)
+	}
+}
+
+type arrival struct {
+	at  time.Time
+	val int64
+}
+
+type recorder struct {
+	mu  sync.Mutex
+	got []arrival
+}
+
+func (r *recorder) handle(from consensus.ProcessID, msg consensus.Message) {
+	d, ok := msg.(*core.DecideMsg)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	r.got = append(r.got, arrival{at: time.Now(), val: d.Value.Key})
+	r.mu.Unlock()
+}
+
+func (r *recorder) wait(t *testing.T, want int) []arrival {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r.mu.Lock()
+		n := len(r.got)
+		out := make([]arrival, n)
+		copy(out, r.got)
+		r.mu.Unlock()
+		if n >= want {
+			return out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d/%d arrivals", n, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMeshFaultDelay: the Mesh injector holds cross-region messages for the
+// scaled one-way latency and passes same-region ones through immediately.
+func TestMeshFaultDelay(t *testing.T) {
+	topo, err := wan.Preset("geo3x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 0.4 // eu-west→us-east RTT 75ms → one-way 15ms
+	mesh := transport.NewMesh(topo.N())
+	defer mesh.Close()
+	mesh.SetFault(topo.MeshFault(scale))
+	var toUS, toEU recorder
+	ep0, err := mesh.Endpoint(0, func(consensus.ProcessID, consensus.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.Endpoint(1, toUS.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mesh.Endpoint(3, toEU.handle); err != nil {
+		t.Fatal(err)
+	}
+	wantDelay := topo.OneWayDelay(0, 1, scale)
+	if wantDelay <= 0 {
+		t.Fatalf("expected positive delay, got %v", wantDelay)
+	}
+	start := time.Now()
+	if err := ep0.Send(1, &core.DecideMsg{Value: consensus.IntValue(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep0.Send(3, &core.DecideMsg{Value: consensus.IntValue(2)}); err != nil {
+		t.Fatal(err)
+	}
+	local := toEU.wait(t, 1)
+	remote := toUS.wait(t, 1)
+	if got := remote[0].at.Sub(start); got < wantDelay {
+		t.Errorf("cross-region message arrived after %v, want ≥ %v", got, wantDelay)
+	}
+	if got := local[0].at.Sub(start); got > wantDelay/2 {
+		t.Errorf("same-region message took %v, expected well under %v", got, wantDelay)
+	}
+}
+
+// TestTCPLinkDelayShim: the writer-side shim holds frames for the one-way
+// latency while preserving FIFO order, and overlapping frames pipeline —
+// k frames arrive roughly one delay after the burst, not k delays.
+func TestTCPLinkDelayShim(t *testing.T) {
+	topo, err := wan.Preset("geo3x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := topo.Prefix(2) // eu-west, us-east
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 0.8 // one-way 30ms
+	codec := consensus.NewCodec()
+	core.RegisterMessages(codec)
+	addrs := map[consensus.ProcessID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	var rec recorder
+	t0, err := transport.NewTCPWithOptions(0, addrs, codec, func(consensus.ProcessID, consensus.Message) {}, transport.TCPOptions{
+		LinkDelay: pair.TCPLinkDelay(0, scale),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t1, err := transport.NewTCP(1, addrs, codec, rec.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t0.SetPeerAddr(1, t1.Addr())
+	t1.SetPeerAddr(0, t0.Addr())
+
+	// Warm the connection so the measured sends exclude the dial.
+	if err := t0.Send(1, &core.DecideMsg{Value: consensus.IntValue(0)}); err != nil {
+		t.Fatal(err)
+	}
+	rec.wait(t, 1)
+
+	oneWay := pair.OneWayDelay(0, 1, scale)
+	const burst = 4
+	start := time.Now()
+	for i := 1; i <= burst; i++ {
+		if err := t0.Send(1, &core.DecideMsg{Value: consensus.IntValue(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rec.wait(t, 1+burst)[1:]
+	for i, a := range got {
+		if a.val != int64(i+1) {
+			t.Fatalf("FIFO violated: arrival %d carries %d", i, a.val)
+		}
+		if d := a.at.Sub(start); d < oneWay {
+			t.Errorf("frame %d arrived after %v, want ≥ one-way %v", i+1, d, oneWay)
+		}
+	}
+	// Pipelining: the whole burst should land well before burst×oneWay
+	// (serialized delays would need ≥ 4×30ms; allow generous slack for CI).
+	if total := got[len(got)-1].at.Sub(start); total > 3*oneWay {
+		t.Errorf("burst of %d took %v — frames serialized instead of pipelining (one-way %v)", burst, total, oneWay)
+	}
+}
